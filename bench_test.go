@@ -1,0 +1,151 @@
+// Package pdt_test holds the benchmark harness: one testing.B benchmark
+// per evaluation table/figure (see DESIGN.md section 3), each delegating
+// to the shared experiment implementations in internal/harness so that
+// `go test -bench` and `pdt-bench` produce the same rows. Under -short
+// the experiments run with shrunken problem sizes.
+//
+// Custom metrics: experiments report simulated cycles and record counts
+// through the printed tables; the b.N loop measures host-side cost of
+// regenerating each table.
+package pdt_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/harness"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	quick := testing.Short()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, quick); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkE1EventInventory regenerates Table 1 (PDT event inventory).
+func BenchmarkE1EventInventory(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2EventCost regenerates Table 2 (per-event tracing cost).
+func BenchmarkE2EventCost(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3TracingOverhead regenerates Table 3 (application slowdown
+// under cumulative tracing configurations).
+func BenchmarkE3TracingOverhead(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4BufferSweep regenerates Figure 4 (overhead vs trace-buffer
+// size, single vs double buffered flushing).
+func BenchmarkE4BufferSweep(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5LoadBalance regenerates Figure 5 (per-SPE busy time, static
+// vs dynamic Julia partitioning).
+func BenchmarkE5LoadBalance(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6DoubleBuffer regenerates Figure 6 (DMA stall breakdown,
+// single vs double buffered matmul).
+func BenchmarkE6DoubleBuffer(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7Pipeline regenerates Figure 7 (per-stage wait breakdown
+// around a slow pipeline stage).
+func BenchmarkE7Pipeline(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8TraceVolume regenerates Table 4 (trace size and record
+// rates per workload).
+func BenchmarkE8TraceVolume(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9EventRate regenerates Figure 8 (overhead vs event rate).
+func BenchmarkE9EventRate(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10AnalyzerThroughput regenerates Table 5 (TA decode+analyze
+// throughput).
+func BenchmarkE10AnalyzerThroughput(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11BandwidthAblation regenerates Table 6 (machine-model
+// ablation: STREAM bandwidth vs SPEs/memory/EIB parameters).
+func BenchmarkE11BandwidthAblation(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12BarrierAblation regenerates Table 7 (barrier mechanism
+// ablation: atomic vs signal-fabric barriers).
+func BenchmarkE12BarrierAblation(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13Scaling regenerates Figure 9 (speedup vs SPE count).
+func BenchmarkE13Scaling(b *testing.B) { benchExperiment(b, "E13") }
+
+// ---- micro-benchmarks of the hot paths backing the tables ----
+
+// BenchmarkRecordEncode measures trace-record serialization.
+func BenchmarkRecordEncode(b *testing.B) {
+	r := event.Record{ID: event.SPEMFCGet, Core: 3, Flags: event.FlagDecrTime,
+		Time: 12345, Args: []uint64{0, 0x10000, 4096, 5}}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = r.AppendTo(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecordDecode measures trace-record parsing.
+func BenchmarkRecordDecode(b *testing.B) {
+	r := event.Record{ID: event.SPEMFCGet, Core: 3, Flags: event.FlagDecrTime,
+		Time: 12345, Args: []uint64{0, 0x10000, 4096, 5}}
+	buf, err := r.AppendTo(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := event.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceLoad measures full trace load+merge on a mid-size trace.
+func BenchmarkTraceLoad(b *testing.B) {
+	cfg := core.DefaultTraceConfig()
+	res, err := harness.Run(harness.Spec{
+		Workload: "synthetic",
+		Params:   map[string]string{"events": "5000", "gap": "300"},
+		Trace:    &cfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(res.TraceBytes)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analyzer.Load(bytes.NewReader(res.TraceBytes)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedMachine measures simulator throughput: simulated
+// cycles per host second on an untraced DMA-heavy workload.
+func BenchmarkSimulatedMachine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(harness.Spec{
+			Workload: "histogram",
+			Params:   map[string]string{"size": "262144"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Cycles), "simcycles/op")
+	}
+}

@@ -1,0 +1,135 @@
+// pdt-run executes a workload on the simulated Cell BE under PDT tracing
+// and writes the trace file, playing the role of launching an application
+// with the instrumented libraries installed.
+//
+// Usage:
+//
+//	pdt-run -workload matmul -param n=256 -param buffers=2 -o matmul.pdt
+//	pdt-run -workload julia -param mode=dynamic -groups mfc,sync -o julia.pdt
+//	pdt-run -workload fft -config pdt.xml -o fft.pdt
+//	pdt-run -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/harness"
+	"github.com/celltrace/pdt/internal/workloads"
+)
+
+type paramList map[string]string
+
+func (p paramList) String() string { return fmt.Sprint(map[string]string(p)) }
+func (p paramList) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected key=value, got %q", s)
+	}
+	p[k] = v
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdt-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pdt-run", flag.ContinueOnError)
+	params := paramList{}
+	var (
+		workload   = fs.String("workload", "", "workload to run (see -list)")
+		list       = fs.Bool("list", false, "list available workloads and exit")
+		output     = fs.String("o", "trace.pdt", "trace output path (empty = no trace)")
+		configPath = fs.String("config", "", "PDT XML configuration file")
+		groups     = fs.String("groups", "", "comma-separated event groups (overrides config)")
+		spes       = fs.Int("spes", 0, "number of SPEs (0 = machine default of 8)")
+		bufKiB     = fs.Int("buffer", 0, "SPE trace buffer KiB (0 = config default)")
+		single     = fs.Bool("singlebuffer", false, "use a single synchronous flush buffer")
+		wrap       = fs.Bool("wrap", false, "wrap the main trace region, keeping the most recent records")
+		winStart   = fs.Uint64("windowstart", 0, "record only events at/after this cycle")
+		winEnd     = fs.Uint64("windowend", 0, "record only events before this cycle (0 = open)")
+		untraced   = fs.Bool("untraced", false, "run without tracing (baseline timing)")
+	)
+	fs.Var(params, "param", "workload parameter key=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, n := range workloads.Names() {
+			w, _ := workloads.New(n)
+			fmt.Fprintf(out, "%-10s %s\n", n, w.Description())
+			for k, v := range w.Params() {
+				fmt.Fprintf(out, "    %s=%s (default)\n", k, v)
+			}
+		}
+		return nil
+	}
+	if *workload == "" {
+		return fmt.Errorf("missing -workload (try -list)")
+	}
+
+	spec := harness.Spec{
+		Workload:  *workload,
+		Params:    params,
+		NumSPEs:   *spes,
+		TracePath: *output,
+	}
+	if !*untraced {
+		cfg := core.DefaultTraceConfig()
+		if *configPath != "" {
+			var err error
+			cfg, err = core.LoadConfigFile(*configPath)
+			if err != nil {
+				return err
+			}
+		}
+		if *groups != "" {
+			cfg.Groups = 0
+			for _, g := range strings.Split(*groups, ",") {
+				bit, ok := event.ParseGroup(strings.TrimSpace(g))
+				if !ok {
+					return fmt.Errorf("unknown group %q", g)
+				}
+				cfg.Groups |= bit
+			}
+		}
+		if *bufKiB > 0 {
+			cfg.SPEBufferSize = *bufKiB * 1024
+		}
+		if *single {
+			cfg.DoubleBuffered = false
+		}
+		if *wrap {
+			cfg.WrapMain = true
+		}
+		cfg.WindowStart = *winStart
+		cfg.WindowEnd = *winEnd
+		spec.Trace = &cfg
+	} else {
+		spec.TracePath = ""
+	}
+
+	res, err := harness.Run(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "workload %s finished in %d cycles (%.3f ms at 3.2 GHz), result verified\n",
+		*workload, res.Cycles, float64(res.Cycles)/3.2e6)
+	if spec.Trace != nil {
+		st := res.Stats
+		fmt.Fprintf(out, "trace: %d SPE + %d PPE records, %d flushes (%d cycles), %d dropped -> %s (%d bytes)\n",
+			st.SPERecords, st.PPERecords, st.Flushes, st.FlushCycles, st.Dropped,
+			*output, len(res.TraceBytes))
+	}
+	return nil
+}

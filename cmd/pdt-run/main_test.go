@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"matmul", "julia", "pipeline", "fft", "histogram", "stream", "synthetic"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestMissingWorkload(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -workload accepted")
+	}
+}
+
+func TestUnknownGroup(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "julia", "-groups", "bogus"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown group") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadParamSyntax(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "julia", "-param", "noequals"}, &out); err == nil {
+		t.Fatal("bad -param accepted")
+	}
+}
+
+func TestRunTracedWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pdt")
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "julia",
+		"-param", "w=64", "-param", "h=32", "-param", "maxiter=32",
+		"-o", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "result verified") {
+		t.Fatalf("output: %s", out.String())
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+}
+
+func TestRunUntraced(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "histogram", "-param", "size=65536", "-untraced",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "trace:") {
+		t.Fatal("untraced run reported a trace")
+	}
+}
+
+func TestRunWithGroupsAndBuffer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pdt")
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "julia",
+		"-param", "w=64", "-param", "h=32", "-param", "maxiter=32",
+		"-groups", "lifecycle,mfc", "-buffer", "4", "-singlebuffer",
+		"-spes", "2",
+		"-o", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "records") {
+		t.Fatalf("output: %s", out.String())
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "pdt.xml")
+	xml := `<pdt><buffer spe="4096" doubleBuffered="true" mainPerSPE="1048576"/>
+<groups><group name="mfc" enabled="true"/><group name="lifecycle" enabled="true"/></groups></pdt>`
+	if err := os.WriteFile(cfgPath, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "histogram", "-param", "size=65536",
+		"-config", cfgPath, "-o", filepath.Join(dir, "t.pdt"),
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamListString(t *testing.T) {
+	p := paramList{"a": "1"}
+	if p.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRunWithWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.pdt")
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "julia",
+		"-param", "w=64", "-param", "h=32", "-param", "maxiter=32",
+		"-windowstart", "10000", "-windowend", "200000",
+		"-wrap",
+		"-o", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "records") {
+		t.Fatalf("output: %s", out.String())
+	}
+}

@@ -1,0 +1,177 @@
+// pdt-ta is the trace analyzer CLI: it loads a PDT trace and prints
+// summaries, timelines, or machine-readable exports.
+//
+// Usage:
+//
+//	pdt-ta summary trace.pdt
+//	pdt-ta timeline -width 100 trace.pdt
+//	pdt-ta svg -o timeline.svg trace.pdt
+//	pdt-ta csv trace.pdt > events.csv
+//	pdt-ta json trace.pdt
+//	pdt-ta validate trace.pdt
+//	pdt-ta events -n 50 trace.pdt
+//	pdt-ta html -o report.html trace.pdt
+//	pdt-ta slack trace.pdt
+//	pdt-ta bw -n 20 trace.pdt
+//	pdt-ta compare before.pdt after.pdt
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdt-ta:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: pdt-ta <summary|timeline|svg|html|csv|json|validate|events|profile|tags|intervals|slack|bw|compensate|critpath|gaps|compare> [flags] trace.pdt [trace2.pdt]")
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return usage()
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet("pdt-ta "+cmd, flag.ContinueOnError)
+	width := fs.Int("width", 100, "timeline width in characters (timeline)")
+	pxWidth := fs.Int("px", 900, "timeline width in pixels (svg)")
+	svgOut := fs.String("o", "", "output path (svg; empty = stdout)")
+	maxEvents := fs.Int("n", 0, "max events to print (events; 0 = all)")
+	gapTicks := fs.Int("min", 0, "minimum gap ticks (gaps; 0 = auto threshold)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	wantArgs := 1
+	if cmd == "compare" {
+		wantArgs = 2
+	}
+	if fs.NArg() != wantArgs {
+		return usage()
+	}
+	tr, err := analyzer.LoadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "compare":
+		tr2, err := analyzer.LoadFile(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		c := analyzer.Compare(analyzer.Summarize(tr), analyzer.Summarize(tr2))
+		analyzer.RenderComparison(c, "A:"+fs.Arg(0), "B:"+fs.Arg(1), out)
+		return nil
+	case "html":
+		analyzer.Validate(tr)
+		var buf bytes.Buffer
+		if err := analyzer.WriteHTML(tr, analyzer.Summarize(tr), &buf); err != nil {
+			return err
+		}
+		if *svgOut == "" {
+			_, err := out.Write(buf.Bytes())
+			return err
+		}
+		return os.WriteFile(*svgOut, buf.Bytes(), 0o644)
+	case "slack":
+		fmt.Fprintf(out, "%-4s %-4s %8s %14s %14s %14s\n",
+			"run", "core", "waits", "mean slack", "max slack", "mean wait")
+		for run := range tr.Meta.Anchors {
+			st := analyzer.DMASlack(tr, run)
+			fmt.Fprintf(out, "%-4d %-4d %8d %14.1f %14d %14.1f\n",
+				st.Run, st.Core, st.Waits, st.Slack.Mean(), st.Slack.Max, st.WaitDur.Mean())
+		}
+		return nil
+	case "profile":
+		analyzer.WriteProfile(tr, out)
+		return nil
+	case "tags":
+		fmt.Fprintf(out, "%-4s %8s %14s\n", "tag", "cmds", "bytes")
+		for _, ts := range analyzer.TagBreakdown(tr) {
+			fmt.Fprintf(out, "%-4d %8d %14d\n", ts.Tag, ts.Cmds, ts.Bytes)
+		}
+		return nil
+	case "compensate":
+		analyzer.WriteCompensation(tr, out)
+		return nil
+	case "critpath":
+		n := *maxEvents
+		if n <= 0 {
+			n = 10
+		}
+		analyzer.WriteCriticalPath(tr, out, n)
+		return nil
+	case "gaps":
+		n := *maxEvents
+		if n <= 0 {
+			n = 15
+		}
+		analyzer.WriteGaps(tr, uint64(*gapTicks), n, out)
+		return nil
+	case "intervals":
+		return analyzer.WriteIntervalsCSV(tr, out)
+	case "bw":
+		n := *maxEvents
+		if n <= 0 {
+			n = 20
+		}
+		for _, p := range analyzer.BandwidthSeries(tr, n) {
+			fmt.Fprintf(out, "%12d %12d\n", p.StartTick, p.Bytes)
+		}
+		return nil
+	}
+
+	switch cmd {
+	case "summary":
+		analyzer.Validate(tr)
+		analyzer.Report(tr, analyzer.Summarize(tr), out)
+	case "timeline":
+		fmt.Fprint(out, analyzer.Timeline(tr, *width))
+	case "svg":
+		svg := analyzer.SVGTimeline(tr, *pxWidth)
+		if *svgOut == "" {
+			fmt.Fprint(out, svg)
+			return nil
+		}
+		return os.WriteFile(*svgOut, []byte(svg), 0o644)
+	case "csv":
+		return analyzer.WriteCSV(tr, out)
+	case "json":
+		analyzer.Validate(tr)
+		return analyzer.WriteJSON(tr, analyzer.Summarize(tr), out)
+	case "validate":
+		issues := analyzer.Validate(tr)
+		if len(issues) == 0 {
+			fmt.Fprintf(out, "OK: %d events, no issues\n", len(tr.Events))
+			return nil
+		}
+		for _, is := range issues {
+			fmt.Fprintln(out, is)
+		}
+		if len(analyzer.Errors(issues)) > 0 {
+			return fmt.Errorf("%d errors", len(analyzer.Errors(issues)))
+		}
+	case "events":
+		for i, e := range tr.Events {
+			if *maxEvents > 0 && i >= *maxEvents {
+				fmt.Fprintf(out, "... %d more\n", len(tr.Events)-i)
+				break
+			}
+			fmt.Fprintf(out, "%8d %s\n", e.Global, e.Record.String())
+		}
+	default:
+		return usage()
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/harness"
+)
+
+// makeTrace produces a real trace file for the CLI to chew on.
+func makeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.pdt")
+	cfg := core.DefaultTraceConfig()
+	_, err := harness.Run(harness.Spec{
+		Workload:  "julia",
+		Params:    map[string]string{"w": "64", "h": "32", "maxiter": "32"},
+		Trace:     &cfg,
+		TracePath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"frobnicate", "x.pdt"}, &out); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"summary"}, &out); err == nil {
+		t.Fatal("missing trace path accepted")
+	}
+	if err := run([]string{"summary", "/does/not/exist.pdt"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"summary", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"workload: julia", "dma-wait", "top events"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"timeline", "-width", "60", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "legend") {
+		t.Fatalf("timeline output:\n%s", out.String())
+	}
+}
+
+func TestSVGToFile(t *testing.T) {
+	path := makeTrace(t)
+	svgPath := filepath.Join(t.TempDir(), "o.svg")
+	var out bytes.Buffer
+	if err := run([]string{"svg", "-o", svgPath, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("not an svg")
+	}
+}
+
+func TestHTMLToStdout(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"html", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<!DOCTYPE html>") {
+		t.Fatal("not html")
+	}
+}
+
+func TestCSVAndJSON(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"csv", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SPE_PROGRAM_START") {
+		t.Fatal("csv missing records")
+	}
+	out.Reset()
+	if err := run([]string{"json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"utilization"`) {
+		t.Fatal("json missing fields")
+	}
+}
+
+func TestValidateClean(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"validate", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("validate output:\n%s", out.String())
+	}
+}
+
+func TestEventsLimited(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"events", "-n", "5", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 6 { // 5 events + "... N more"
+		t.Fatalf("lines = %d:\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[5], "more") {
+		t.Fatal("missing continuation marker")
+	}
+}
+
+func TestSlackAndBW(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"slack", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mean slack") {
+		t.Fatalf("slack output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"bw", "-n", "5", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(out.String()), "\n")) != 5 {
+		t.Fatalf("bw output:\n%s", out.String())
+	}
+}
+
+func TestProfileIntervalsCompensate(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"profile", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "total ticks") {
+		t.Fatalf("profile output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"intervals", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "run,core,state") {
+		t.Fatalf("intervals output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"compensate", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "corrected") {
+		t.Fatalf("compensate output:\n%s", out.String())
+	}
+}
+
+func TestCritpathAndGaps(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"critpath", "-n", "3", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "critical path:") {
+		t.Fatalf("critpath output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"gaps", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "event-free") {
+		t.Fatalf("gaps output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"gaps", "-min", "1", "-n", "2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ">= 1 ticks") {
+		t.Fatalf("gaps -min output:\n%s", out.String())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := makeTrace(t)
+	b := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"compare", a, b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "speedup") {
+		t.Fatalf("compare output:\n%s", out.String())
+	}
+	if err := run([]string{"compare", a}, &out); err == nil {
+		t.Fatal("compare with one file accepted")
+	}
+}
+
+func TestCorruptTraceRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.pdt")
+	if err := os.WriteFile(path, []byte("this is not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"summary", path}, &out); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestTags(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"tags", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bytes") {
+		t.Fatalf("tags output:\n%s", out.String())
+	}
+}

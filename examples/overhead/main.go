@@ -1,0 +1,54 @@
+// Overhead demonstrates the paper's tracing-cost discussion end to end:
+// the same workload runs untraced, traced with a narrow group selection,
+// and traced fully; the example reports the measured slowdown of each
+// configuration and then uses TA's compensation analysis to recover the
+// untraced timing from the fully-traced run alone.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/harness"
+)
+
+func main() {
+	params := map[string]string{"w": "256", "h": "128", "maxiter": "128", "mode": "dynamic"}
+
+	base, err := harness.Run(harness.Spec{Workload: "julia", Params: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("untraced:            %8d cycles\n", base.Cycles)
+
+	narrow := core.DefaultTraceConfig()
+	narrow.Groups = event.GroupLifecycle | event.GroupMFC
+	resNarrow, err := harness.Run(harness.Spec{Workload: "julia", Params: params, Trace: &narrow})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced (mfc only):   %8d cycles (%+.2f%%), %d records\n",
+		resNarrow.Cycles, harness.Overhead(base.Cycles, resNarrow.Cycles),
+		resNarrow.Stats.SPERecords+resNarrow.Stats.PPERecords)
+
+	full := core.DefaultTraceConfig()
+	resFull, err := harness.Run(harness.Spec{Workload: "julia", Params: params, Trace: &full})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced (all groups): %8d cycles (%+.2f%%), %d records\n\n",
+		resFull.Cycles, harness.Overhead(base.Cycles, resFull.Cycles),
+		resFull.Stats.SPERecords+resFull.Stats.PPERecords)
+
+	tr, err := analyzer.Load(bytes.NewReader(resFull.TraceBytes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("TA overhead compensation (from the fully-traced run only):")
+	analyzer.WriteCompensation(tr, os.Stdout)
+}

@@ -1,0 +1,65 @@
+// Quickstart: trace one workload on the simulated Cell BE with PDT and
+// analyze the result with TA — the minimal end-to-end tour of the public
+// API (machine, session, workload, analyzer).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/workloads"
+)
+
+func main() {
+	// 1. Build a machine: 8 SPEs, 256 KiB local stores, default timing.
+	mc := cell.DefaultConfig()
+	mc.MemSize = 64 * cell.MiB
+	m := cell.NewMachine(mc)
+
+	// 2. Attach a PDT session. DefaultTraceConfig traces all groups into
+	// a 16 KiB double-buffered local-store buffer per SPE.
+	cfg := core.DefaultTraceConfig()
+	cfg.Workload = "quickstart-matmul"
+	session := core.NewSession(m, cfg)
+	session.Attach()
+
+	// 3. Prepare a workload (it installs the PPE main program) and run.
+	w, err := workloads.New("matmul")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Configure(map[string]string{"n": "128", "t": "32"}); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Prepare(m); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Verify(m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation finished at cycle %d; result verified\n\n", m.Now())
+
+	// 4. Serialize the trace and analyze it.
+	var buf bytes.Buffer
+	if err := session.WriteTrace(&buf); err != nil {
+		log.Fatal(err)
+	}
+	tr, err := analyzer.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if errs := analyzer.Errors(analyzer.Validate(tr)); len(errs) > 0 {
+		log.Fatalf("trace validation failed: %v", errs)
+	}
+	analyzer.Report(tr, analyzer.Summarize(tr), os.Stdout)
+	fmt.Println()
+	fmt.Print(analyzer.Timeline(tr, 90))
+}

@@ -1,0 +1,3 @@
+module github.com/celltrace/pdt
+
+go 1.22

@@ -1,0 +1,88 @@
+package analyzer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVGLineChart renders a simple filled line chart for a series of
+// non-negative values — the HTML report's bandwidth and parallelism
+// panels. Pure SVG, no scripting.
+func SVGLineChart(title, yLabel string, values []float64, width, height int) string {
+	if width < 100 {
+		width = 100
+	}
+	if height < 40 {
+		height = 40
+	}
+	var max float64
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	const padL, padB, padT = 50, 18, 18
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`,
+		width, height)
+	b.WriteString("\n")
+	fmt.Fprintf(&b, `<text x="%d" y="12">%s</text>`, padL, xmlEscape(title))
+	b.WriteString("\n")
+	plotW := width - padL - 8
+	plotH := height - padT - padB
+	if len(values) > 0 && max > 0 {
+		var pts strings.Builder
+		// Area polygon: baseline, the series, baseline.
+		fmt.Fprintf(&pts, "%d,%d ", padL, padT+plotH)
+		for i, v := range values {
+			x := padL
+			if len(values) > 1 {
+				x = padL + i*plotW/(len(values)-1)
+			}
+			y := padT + plotH - int(v/max*float64(plotH))
+			fmt.Fprintf(&pts, "%d,%d ", x, y)
+		}
+		fmt.Fprintf(&pts, "%d,%d", padL+plotW, padT+plotH)
+		fmt.Fprintf(&b, `<polygon points="%s" fill="#4caf50" fill-opacity="0.35" stroke="#2e7d32" stroke-width="1"/>`,
+			strings.TrimSpace(pts.String()))
+		b.WriteString("\n")
+	}
+	// Axes and max label.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		padL, padT, padL, padT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999"/>`,
+		padL, padT+plotH, padL+plotW, padT+plotH)
+	fmt.Fprintf(&b, `<text x="2" y="%d">%s</text>`, padT+10, xmlEscape(fmt.Sprintf("%.3g", max)))
+	fmt.Fprintf(&b, `<text x="2" y="%d">%s</text>`, padT+plotH, "0")
+	fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`, padL, height-4, xmlEscape(yLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// BandwidthChart renders the DMA-traffic series as an SVG chart in
+// GB/s at the nominal clock.
+func BandwidthChart(tr *Trace, buckets, width int) string {
+	pts := BandwidthSeries(tr, buckets)
+	start, end := tr.Span()
+	vals := make([]float64, len(pts))
+	if end > start && len(pts) > 0 {
+		bucketTicks := float64(end-start) / float64(len(pts))
+		bucketSec := bucketTicks * float64(tr.CyclesPerTick()) / 3.2e9
+		for i, p := range pts {
+			if bucketSec > 0 {
+				vals[i] = float64(p.Bytes) / bucketSec / 1e9
+			}
+		}
+	}
+	return SVGLineChart("DMA traffic", "GB/s over time", vals, width, 120)
+}
+
+// ParallelismChart renders the computing-SPE count over time.
+func ParallelismChart(tr *Trace, buckets, width int) string {
+	pts := ParallelismSeries(tr, buckets)
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p.Busy
+	}
+	return SVGLineChart("SPE parallelism", "computing SPEs over time", vals, width, 120)
+}

@@ -1,0 +1,74 @@
+package analyzer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core"
+)
+
+func TestSVGLineChart(t *testing.T) {
+	svg := SVGLineChart("title & co", "y", []float64{0, 1, 3, 2}, 300, 100)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("not an svg")
+	}
+	if !strings.Contains(svg, "polygon") {
+		t.Fatal("no series polygon")
+	}
+	if !strings.Contains(svg, "title &amp; co") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestSVGLineChartEmpty(t *testing.T) {
+	svg := SVGLineChart("t", "y", nil, 10, 10)
+	if strings.Contains(svg, "polygon") {
+		t.Fatal("polygon for empty series")
+	}
+	if !strings.Contains(svg, "<svg") {
+		t.Fatal("no svg scaffold")
+	}
+}
+
+func TestChartsFromTrace(t *testing.T) {
+	tr := simTrace(t, core.DefaultTraceConfig(), func(h cell.Host) {
+		h.Wait(h.Run(0, "ch", func(spu cell.SPU) uint32 {
+			for i := 0; i < 10; i++ {
+				spu.Get(0, 0, 4096, 0)
+				spu.WaitTagAll(1)
+				spu.Compute(2000)
+			}
+			return 0
+		}))
+	})
+	bw := BandwidthChart(tr, 20, 400)
+	if !strings.Contains(bw, "GB/s") || !strings.Contains(bw, "polygon") {
+		t.Fatalf("bandwidth chart:\n%s", bw)
+	}
+	par := ParallelismChart(tr, 20, 400)
+	if !strings.Contains(par, "parallelism") || !strings.Contains(par, "polygon") {
+		t.Fatalf("parallelism chart:\n%s", par)
+	}
+}
+
+func TestHTMLIncludesCharts(t *testing.T) {
+	tr := simTrace(t, core.DefaultTraceConfig(), func(h cell.Host) {
+		h.Wait(h.Run(0, "hc", func(spu cell.SPU) uint32 {
+			spu.Get(0, 0, 1024, 0)
+			spu.WaitTagAll(1)
+			return 0
+		}))
+	})
+	var buf bytes.Buffer
+	if err := WriteHTML(tr, Summarize(tr), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Traffic and parallelism") {
+		t.Fatal("charts section missing")
+	}
+	if strings.Count(buf.String(), "<svg") < 3 {
+		t.Fatal("expected timeline + two charts")
+	}
+}

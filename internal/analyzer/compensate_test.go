@@ -1,0 +1,107 @@
+package analyzer
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core"
+)
+
+func TestCompensateRecoversUntracedTime(t *testing.T) {
+	// A known workload: N user events separated by `gap` compute cycles.
+	// Untraced per-SPE busy time is ~N*gap; traced adds N*eventCost plus
+	// flushes. Compensation must land within a few percent of truth.
+	const events, gap = 2000, 500
+	prog := func(spu cell.SPU) uint32 {
+		for i := 0; i < events; i++ {
+			spu.Compute(gap)
+			core.User(spu, 1, uint64(i), 0)
+		}
+		return 0
+	}
+	run := func(traced bool) (uint64, *Trace) {
+		mc := cell.DefaultConfig()
+		mc.NumSPEs = 2
+		mc.MemSize = 32 * cell.MiB
+		m := cell.NewMachine(mc)
+		var s *core.Session
+		if traced {
+			s = core.NewSession(m, core.DefaultTraceConfig())
+			s.Attach()
+		}
+		m.RunMain(func(h cell.Host) {
+			a := h.Run(0, "comp", prog)
+			b := h.Run(1, "comp", prog)
+			h.Wait(a)
+			h.Wait(b)
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !traced {
+			return m.Now(), nil
+		}
+		var buf bytes.Buffer
+		if err := s.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Now(), tr
+	}
+	_, tr := run(true)
+	comps := Compensate(tr)
+	if len(comps) != 2 {
+		t.Fatalf("compensations = %d", len(comps))
+	}
+	truthTicks := float64(events*gap) / 40 // per-run busy in timebase ticks
+	for _, c := range comps {
+		if c.Records < events {
+			t.Fatalf("run %d records = %d", c.Run, c.Records)
+		}
+		rawErr := math.Abs(float64(c.Wall)-truthTicks) / truthTicks
+		corrErr := math.Abs(float64(c.CorrectedWall)-truthTicks) / truthTicks
+		if corrErr > 0.05 {
+			t.Fatalf("run %d corrected wall %d vs truth %.0f (%.1f%% off)",
+				c.Run, c.CorrectedWall, truthTicks, 100*corrErr)
+		}
+		if corrErr >= rawErr {
+			t.Fatalf("run %d: compensation did not improve (raw %.3f corrected %.3f)",
+				c.Run, rawErr, corrErr)
+		}
+		if c.OverheadPct() <= 0 {
+			t.Fatalf("run %d overhead %.2f%%", c.Run, c.OverheadPct())
+		}
+	}
+}
+
+func TestWriteCompensation(t *testing.T) {
+	tr := simTrace(t, core.DefaultTraceConfig(), func(h cell.Host) {
+		h.Wait(h.Run(0, "wc", func(spu cell.SPU) uint32 {
+			spu.Get(0, 0, 1024, 0)
+			spu.WaitTagAll(1)
+			return 0
+		}))
+	})
+	var buf bytes.Buffer
+	WriteCompensation(tr, &buf)
+	for _, want := range []string{"per-record cost", "corrected", "overhead"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestWriteCompensationNoCosts(t *testing.T) {
+	tr := &Trace{}
+	var buf bytes.Buffer
+	WriteCompensation(tr, &buf)
+	if !strings.Contains(buf.String(), "cannot compensate") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}

@@ -1,0 +1,221 @@
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// Critical-path analysis walks the chain of binding constraints backwards
+// from the last event in the trace: at every step the predecessor is the
+// dependency that completed last — the same-core predecessor event, or the
+// cross-core sender that the event was waiting for. The result explains
+// *why* the run took as long as it did, attributing wall time to cores.
+//
+// Cross-core dependencies recovered from the trace:
+//
+//   - PPE_SPE_START        -> SPE_PROGRAM_START       (program launch)
+//   - SPE_PROGRAM_END      -> PPE_WAIT_EXIT           (join)
+//   - SPE_WRITE_OUT_MBOX_EXIT -> PPE_READ_OUT_MBOX_EXIT (FIFO per SPE)
+//   - PPE_WRITE_IN_MBOX_EXIT  -> SPE_READ_IN_MBOX_EXIT  (FIFO per SPE)
+//   - PPE_WRITE_SIGNAL / SPE_SNDSIG -> SPE_READ_SIGNAL_EXIT (FIFO per SPE+reg)
+//
+// Atomic and barrier orderings are not modeled (the spin is visible as
+// compute on the waiting core), which the report notes.
+
+// PathSegment is one hop of the critical path.
+type PathSegment struct {
+	Core  uint8 // core the time was spent on (receiver side)
+	Run   int
+	Start uint64 // timebase ticks
+	End   uint64
+	// Via names the event at the segment's end.
+	Via event.ID
+	// Cross marks a hop that jumped cores through a dependency.
+	Cross bool
+}
+
+// Dur returns the segment length.
+func (s PathSegment) Dur() uint64 { return s.End - s.Start }
+
+// CriticalPath is the full analysis result.
+type CriticalPath struct {
+	// Segments from earliest to latest.
+	Segments []PathSegment
+	// CoreTicks attributes path time per core (event.CorePPE for PPE).
+	CoreTicks map[uint8]uint64
+	// Total is the covered span.
+	Total uint64
+}
+
+// ComputeCriticalPath runs the backward walk.
+func ComputeCriticalPath(tr *Trace) *CriticalPath {
+	cp := &CriticalPath{CoreTicks: map[uint8]uint64{}}
+	n := len(tr.Events)
+	if n == 0 {
+		return cp
+	}
+
+	// prevOnCore[i] = index of the previous event on the same core.
+	prevOnCore := make([]int, n)
+	lastOnCore := map[uint8]int{}
+	for i := range tr.Events {
+		c := tr.Events[i].Core
+		if j, ok := lastOnCore[c]; ok {
+			prevOnCore[i] = j
+		} else {
+			prevOnCore[i] = -1
+		}
+		lastOnCore[c] = i
+	}
+
+	// crossDep[i] = index of the cross-core sender event, or -1.
+	crossDep := make([]int, n)
+	for i := range crossDep {
+		crossDep[i] = -1
+	}
+	type fifo struct{ q []int }
+	push := func(f *fifo, i int) { f.q = append(f.q, i) }
+	pop := func(f *fifo) int {
+		if len(f.q) == 0 {
+			return -1
+		}
+		v := f.q[0]
+		f.q = f.q[1:]
+		return v
+	}
+	outMbox := map[uint8]*fifo{}  // SPE -> pending out-mbox writes
+	inMbox := map[uint64]*fifo{}  // spe arg -> pending PPE in-mbox writes
+	signals := map[string]*fifo{} // "spe/reg" -> pending signal sends
+	starts := map[uint64]*fifo{}  // spe arg -> pending PPE starts
+	ends := map[uint8]*fifo{}     // SPE -> pending program ends
+
+	ensure := func(m map[uint8]*fifo, k uint8) *fifo {
+		f := m[k]
+		if f == nil {
+			f = &fifo{}
+			m[k] = f
+		}
+		return f
+	}
+	ensure64 := func(m map[uint64]*fifo, k uint64) *fifo {
+		f := m[k]
+		if f == nil {
+			f = &fifo{}
+			m[k] = f
+		}
+		return f
+	}
+	ensureS := func(m map[string]*fifo, k string) *fifo {
+		f := m[k]
+		if f == nil {
+			f = &fifo{}
+			m[k] = f
+		}
+		return f
+	}
+
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		switch e.ID {
+		case event.PPESPEStart:
+			push(ensure64(starts, e.Args[0]), i)
+		case event.SPEProgramStart:
+			crossDep[i] = pop(ensure64(starts, uint64(e.Core)))
+		case event.SPEProgramEnd:
+			push(ensure(ends, e.Core), i)
+		case event.PPEWaitExit:
+			crossDep[i] = pop(ensure(ends, uint8(e.Args[0])))
+		case event.SPEWriteOutMboxExit, event.SPEWriteIntrMboxExit:
+			push(ensure(outMbox, e.Core), i)
+		case event.PPEReadOutMboxExit, event.PPEReadIntrMboxExit:
+			crossDep[i] = pop(ensure(outMbox, uint8(e.Args[0])))
+		case event.PPEWriteInMboxExit:
+			push(ensure64(inMbox, e.Args[0]), i)
+		case event.SPEReadInMboxExit:
+			crossDep[i] = pop(ensure64(inMbox, uint64(e.Core)))
+		case event.PPEWriteSignal:
+			push(ensureS(signals, fmt.Sprintf("%d/%d", e.Args[0], e.Args[1])), i)
+		case event.SPESndsig:
+			push(ensureS(signals, fmt.Sprintf("%d/%d", e.Args[0], e.Args[1])), i)
+		case event.SPEReadSignalExit:
+			crossDep[i] = pop(ensureS(signals, fmt.Sprintf("%d/%d", e.Core, e.Args[0])))
+		}
+	}
+
+	// Backward walk from the last event.
+	cur := n - 1
+	for cur >= 0 {
+		e := &tr.Events[cur]
+		prev := prevOnCore[cur]
+		cross := crossDep[cur]
+		// The binding predecessor is the later of the two.
+		next := prev
+		isCross := false
+		if cross >= 0 && (prev < 0 || tr.Events[cross].Global > tr.Events[prev].Global) {
+			next = cross
+			isCross = true
+		}
+		start := uint64(0)
+		if next >= 0 {
+			start = tr.Events[next].Global
+		} else if len(tr.Events) > 0 {
+			start = tr.Events[0].Global
+		}
+		if e.Global > start {
+			cp.Segments = append(cp.Segments, PathSegment{
+				Core: e.Core, Run: e.Run, Start: start, End: e.Global,
+				Via: e.ID, Cross: isCross,
+			})
+			cp.CoreTicks[e.Core] += e.Global - start
+		}
+		cur = next
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(cp.Segments)-1; i < j; i, j = i+1, j-1 {
+		cp.Segments[i], cp.Segments[j] = cp.Segments[j], cp.Segments[i]
+	}
+	for _, t := range cp.CoreTicks {
+		cp.Total += t
+	}
+	return cp
+}
+
+// WriteCriticalPath renders the analysis: per-core attribution and the
+// largest segments.
+func WriteCriticalPath(tr *Trace, w io.Writer, topN int) {
+	cp := ComputeCriticalPath(tr)
+	if cp.Total == 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	fmt.Fprintf(w, "critical path: %d timebase ticks across %d segments\n", cp.Total, len(cp.Segments))
+	fmt.Fprintln(w, "note: atomic/barrier orderings appear as compute on the waiting core")
+	cores := make([]int, 0, len(cp.CoreTicks))
+	for c := range cp.CoreTicks {
+		cores = append(cores, int(c))
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		name := event.CoreName(uint8(c))
+		t := cp.CoreTicks[uint8(c)]
+		fmt.Fprintf(w, "  %-6s %10d ticks (%.1f%%)\n", name, t, 100*float64(t)/float64(cp.Total))
+	}
+	segs := append([]PathSegment(nil), cp.Segments...)
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Dur() > segs[j].Dur() })
+	if topN > len(segs) {
+		topN = len(segs)
+	}
+	fmt.Fprintf(w, "largest segments:\n")
+	for _, s := range segs[:topN] {
+		name := event.CoreName(s.Core)
+		kind := "local"
+		if s.Cross {
+			kind = "cross"
+		}
+		fmt.Fprintf(w, "  %-6s [%d,%d) %8d ticks %-5s ending at %s\n",
+			name, s.Start, s.End, s.Dur(), kind, s.Via)
+	}
+}

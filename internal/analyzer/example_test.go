@@ -1,0 +1,53 @@
+package analyzer_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core"
+)
+
+// ExampleSummarize traces a run with a deliberate DMA stall and shows the
+// analyzer attributing the time: the SPE spends most of its life waiting
+// on the tag group.
+func ExampleSummarize() {
+	mc := cell.DefaultConfig()
+	mc.MemSize = 8 * cell.MiB
+	m := cell.NewMachine(mc)
+	session := core.NewSession(m, core.DefaultTraceConfig())
+	session.Attach()
+
+	m.RunMain(func(h cell.Host) {
+		src := h.Alloc(16*1024, 128)
+		h.Wait(h.Run(0, "staller", func(spu cell.SPU) uint32 {
+			for i := 0; i < 10; i++ {
+				spu.Get(0, src, 16*1024, 0) // max-size transfer...
+				spu.WaitTagAll(1)           // ...waited on synchronously
+				spu.Compute(100)            // almost no compute
+			}
+			return 0
+		}))
+	})
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+
+	var buf bytes.Buffer
+	if err := session.WriteTrace(&buf); err != nil {
+		panic(err)
+	}
+	tr, err := analyzer.Load(&buf)
+	if err != nil {
+		panic(err)
+	}
+	s := analyzer.Summarize(tr)
+	r := s.Runs[0]
+	dmaShare := float64(r.StateTicks[analyzer.StateStallDMA]) / float64(r.Wall())
+	fmt.Printf("runs: %d, DMA waits: %d\n", len(s.Runs), s.DMA[0].Waits)
+	fmt.Printf("dma-wait dominates: %v\n", dmaShare > 0.5)
+	// Output:
+	// runs: 1, DMA waits: 10
+	// dma-wait dominates: true
+}

@@ -1,0 +1,155 @@
+package analyzer
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// WriteCSV exports the merged event stream as CSV:
+// seq,global_tick,core,run,event,args...,str
+func WriteCSV(tr *Trace, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "global_tick", "core", "run", "event", "args", "str"}); err != nil {
+		return err
+	}
+	for _, e := range tr.Events {
+		core := event.CoreName(e.Core)
+		args := ""
+		info, _ := event.Lookup(e.ID)
+		for i, a := range e.Args {
+			if i > 0 {
+				args += " "
+			}
+			name := fmt.Sprintf("a%d", i)
+			if i < len(info.Args) {
+				name = info.Args[i]
+			}
+			args += fmt.Sprintf("%s=%d", name, a)
+		}
+		rec := []string{
+			strconv.Itoa(e.Seq),
+			strconv.FormatUint(e.Global, 10),
+			core,
+			strconv.Itoa(e.Run),
+			e.ID.String(),
+			args,
+			e.Str,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonSummary is the JSON shape of a Summary report.
+type jsonSummary struct {
+	Workload      string         `json:"workload"`
+	WallTicks     uint64         `json:"wallTicks"`
+	TotalRecords  int            `json:"totalRecords"`
+	LoadImbalance float64        `json:"loadImbalance"`
+	FlushTicks    uint64         `json:"flushTicks"`
+	Runs          []jsonRun      `json:"runs"`
+	EventCounts   map[string]int `json:"eventCounts"`
+	Issues        []string       `json:"issues,omitempty"`
+}
+
+type jsonRun struct {
+	Run         int               `json:"run"`
+	Core        uint8             `json:"core"`
+	Program     string            `json:"program"`
+	WallTicks   uint64            `json:"wallTicks"`
+	Utilization float64           `json:"utilization"`
+	States      map[string]uint64 `json:"stateTicks"`
+	Events      int               `json:"events"`
+}
+
+// WriteJSON exports the summary (and any validation issues on tr) as JSON.
+func WriteJSON(tr *Trace, s *Summary, w io.Writer) error {
+	out := jsonSummary{
+		Workload:      s.Workload,
+		WallTicks:     s.WallTicks,
+		TotalRecords:  s.TotalRecs,
+		LoadImbalance: s.LoadImbalance,
+		FlushTicks:    s.FlushTicks,
+		EventCounts:   map[string]int{},
+	}
+	for id, n := range s.EventCount {
+		out.EventCounts[id.String()] = n
+	}
+	for i := range s.Runs {
+		r := &s.Runs[i]
+		jr := jsonRun{
+			Run: r.Run, Core: r.Core, Program: r.Program,
+			WallTicks: r.Wall(), Utilization: r.Utilization(),
+			States: map[string]uint64{}, Events: r.Events,
+		}
+		for _, st := range States() {
+			jr.States[st.String()] = r.StateTicks[st]
+		}
+		out.Runs = append(out.Runs, jr)
+	}
+	for _, i := range tr.Issues {
+		out.Issues = append(out.Issues, i.String())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// Report renders the human-readable summary the pdt-ta CLI prints.
+func Report(tr *Trace, s *Summary, w io.Writer) {
+	fmt.Fprintf(w, "workload: %s\n", s.Workload)
+	fmt.Fprintf(w, "records:  %d (wall %d timebase ticks)\n", s.TotalRecs, s.WallTicks)
+	if s.LoadImbalance > 0 {
+		fmt.Fprintf(w, "load imbalance (max/mean busy): %.3f\n", s.LoadImbalance)
+	}
+	if len(tr.Meta.Drops) > 0 {
+		for _, d := range tr.Meta.Drops {
+			fmt.Fprintf(w, "WARNING: SPE %d dropped %d records\n", d.SPE, d.Count)
+		}
+	}
+	fmt.Fprintf(w, "\n%-4s %-4s %-14s %12s %7s %10s %10s %10s %10s %10s %10s\n",
+		"run", "core", "program", "wall", "util", "dma-wait", "mbox-wait", "sig-wait", "sync-wait", "flush", "events")
+	for i := range s.Runs {
+		r := &s.Runs[i]
+		fmt.Fprintf(w, "%-4d %-4d %-14s %12d %6.1f%% %10d %10d %10d %10d %10d %10d\n",
+			r.Run, r.Core, r.Program, r.Wall(), 100*r.Utilization(),
+			r.StateTicks[StateStallDMA], r.StateTicks[StateStallMbox],
+			r.StateTicks[StateStallSignal], r.StateTicks[StateStallSync],
+			r.StateTicks[StateFlush], r.Events)
+	}
+	fmt.Fprintf(w, "\nDMA per run:\n%-4s %-6s %-6s %-6s %12s %12s %10s %12s\n",
+		"run", "gets", "puts", "lists", "bytesIn", "bytesOut", "waits", "meanWait")
+	for i := range s.DMA {
+		d := &s.DMA[i]
+		fmt.Fprintf(w, "%-4d %-6d %-6d %-6d %12d %12d %10d %12.1f\n",
+			d.Run, d.Gets, d.Puts, d.Lists, d.BytesIn, d.BytesOut, d.Waits, d.WaitTicks.Mean())
+	}
+	ppe := SummarizePPE(tr)
+	if ppe.Records > 0 {
+		fmt.Fprintf(w, "\nPPE: %d records, %d SPE waits (%d ticks blocked), %d/%d mbox reads/writes (%d ticks), %d proxy cmds (%d bytes)\n",
+			ppe.Records, ppe.SPEWaits, ppe.WaitTicks, ppe.MboxReads, ppe.MboxWrites,
+			ppe.MboxWaitTicks, ppe.ProxyGets+ppe.ProxyPuts, ppe.ProxyBytes)
+	}
+	fmt.Fprintf(w, "effective SPE concurrency: %.2f\n", EffectiveConcurrency(tr))
+	fmt.Fprintf(w, "\ntop events:\n")
+	for i, ec := range s.TopEvents() {
+		if i >= 12 {
+			break
+		}
+		fmt.Fprintf(w, "  %-28s %10d\n", ec.ID, ec.Count)
+	}
+	if len(tr.Issues) > 0 {
+		fmt.Fprintf(w, "\nissues:\n")
+		for _, is := range tr.Issues {
+			fmt.Fprintf(w, "  %s\n", is)
+		}
+	}
+}

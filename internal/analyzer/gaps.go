@@ -1,0 +1,81 @@
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Gap is one unusually long stretch of an SPE run with no trace events —
+// either genuine heavy compute or a stall in an untraced code path. The
+// TA surfaces these so the user knows where the trace is blind; the fix
+// on the paper's tool was exactly the user-event API (annotate the gap).
+type Gap struct {
+	Run   int
+	Core  uint8
+	Start uint64
+	End   uint64
+}
+
+// Dur returns the gap length in timebase ticks.
+func (g Gap) Dur() uint64 { return g.End - g.Start }
+
+// FindGaps returns event-free stretches of at least minTicks inside SPE
+// runs, longest first.
+func FindGaps(tr *Trace, minTicks uint64) []Gap {
+	var out []Gap
+	for run := range tr.Meta.Anchors {
+		evs := tr.RunEvents(run)
+		for i := 1; i < len(evs); i++ {
+			d := evs[i].Global - evs[i-1].Global
+			if d >= minTicks {
+				out = append(out, Gap{
+					Run: run, Core: evs[i].Core,
+					Start: evs[i-1].Global, End: evs[i].Global,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dur() > out[j].Dur() })
+	return out
+}
+
+// SuggestGapThreshold proposes a threshold from the run statistics:
+// twenty times the median inter-event distance (the median is robust to
+// the very gaps being hunted), floored at 10 ticks.
+func SuggestGapThreshold(tr *Trace) uint64 {
+	var dists []uint64
+	for run := range tr.Meta.Anchors {
+		evs := tr.RunEvents(run)
+		for i := 1; i < len(evs); i++ {
+			dists = append(dists, evs[i].Global-evs[i-1].Global)
+		}
+	}
+	if len(dists) == 0 {
+		return 10
+	}
+	sort.Slice(dists, func(i, j int) bool { return dists[i] < dists[j] })
+	th := dists[len(dists)/2] * 20
+	if th < 10 {
+		th = 10
+	}
+	return th
+}
+
+// WriteGaps renders the gap report.
+func WriteGaps(tr *Trace, minTicks uint64, topN int, w io.Writer) {
+	if minTicks == 0 {
+		minTicks = SuggestGapThreshold(tr)
+	}
+	gaps := FindGaps(tr, minTicks)
+	fmt.Fprintf(w, "event-free stretches >= %d ticks: %d found\n", minTicks, len(gaps))
+	if topN > len(gaps) {
+		topN = len(gaps)
+	}
+	for _, g := range gaps[:topN] {
+		fmt.Fprintf(w, "  SPE%-3d run %-3d [%d,%d) %10d ticks\n", g.Core, g.Run, g.Start, g.End, g.Dur())
+	}
+	if len(gaps) > 0 {
+		fmt.Fprintln(w, "hint: annotate hot loops with core.User / core.UserLog to subdivide gaps")
+	}
+}

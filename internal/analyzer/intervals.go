@@ -1,0 +1,231 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// State classifies what an SPE was doing during an interval.
+type State int
+
+const (
+	// StateCompute is time between traced events: the SPU was running
+	// application code (includes untraced library time).
+	StateCompute State = iota
+	// StateStallDMA is time inside a tag-group wait.
+	StateStallDMA
+	// StateStallMbox is time blocked on a mailbox access.
+	StateStallMbox
+	// StateStallSignal is time blocked reading a signal register.
+	StateStallSignal
+	// StateStallSync is time inside barrier/mutex/work-queue waits.
+	StateStallSync
+	// StateFlush is PDT's own trace-buffer flush time.
+	StateFlush
+	// StateHostWait is PPE time blocked waiting for an SPE program to
+	// finish (PPE lane only).
+	StateHostWait
+	numStates
+)
+
+var stateNames = [numStates]string{"compute", "dma-wait", "mbox-wait", "signal-wait", "sync-wait", "trace-flush", "spe-wait"}
+
+func (s State) String() string {
+	if s >= 0 && int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// States lists all states in order.
+func States() []State {
+	out := make([]State, numStates)
+	for i := range out {
+		out[i] = State(i)
+	}
+	return out
+}
+
+// Interval is a span of one SPE program run in a single state.
+type Interval struct {
+	Core  uint8
+	Run   int
+	State State
+	Start uint64 // timebase ticks, global
+	End   uint64
+}
+
+// Dur returns the interval length in timebase ticks.
+func (iv Interval) Dur() uint64 { return iv.End - iv.Start }
+
+// stallState maps Enter events to the state they open.
+var stallState = map[event.ID]State{
+	event.SPEWaitTagEnter:       StateStallDMA,
+	event.SPEReadInMboxEnter:    StateStallMbox,
+	event.SPEWriteOutMboxEnter:  StateStallMbox,
+	event.SPEWriteIntrMboxEnter: StateStallMbox,
+	event.SPEReadSignalEnter:    StateStallSignal,
+	event.SyncBarrierEnter:      StateStallSync,
+	event.SyncMutexEnter:        StateStallSync,
+	event.SyncWQGetEnter:        StateStallSync,
+	event.SPEAtomicEnter:        StateStallSync,
+}
+
+// RunIntervals reconstructs the state intervals of one SPE program run.
+// The run spans SPE_PROGRAM_START..SPE_PROGRAM_END; time not inside a
+// stall or flush is attributed to compute.
+func RunIntervals(tr *Trace, run int) []Interval {
+	evs := tr.RunEvents(run)
+	if len(evs) == 0 {
+		return nil
+	}
+	var out []Interval
+	core := evs[0].Core
+	cursor := evs[0].Global // start of the segment being classified
+	var openState State
+	var open bool
+	var openStart uint64
+	cpt := tr.CyclesPerTick()
+
+	emit := func(state State, start, end uint64) {
+		if end > start {
+			out = append(out, Interval{Core: core, Run: run, State: state, Start: start, End: end})
+		}
+	}
+
+	for _, e := range evs {
+		info, ok := event.Lookup(e.ID)
+		if !ok {
+			continue
+		}
+		switch {
+		case info.Kind == event.KindEnter:
+			if st, stalls := stallState[e.ID]; stalls && !open {
+				emit(StateCompute, cursor, e.Global)
+				open = true
+				openState = st
+				openStart = e.Global
+			}
+		case info.Kind == event.KindExit:
+			if open && stallState[info.Pair] == openState {
+				emit(openState, openStart, e.Global)
+				open = false
+				cursor = e.Global
+			}
+		case e.ID == event.SPETraceFlush:
+			// Point event stamped at flush completion; its duration in
+			// cycles is the second argument.
+			ticks := e.Args[1] / cpt
+			start := e.Global
+			if ticks < e.Global {
+				start = e.Global - ticks
+			}
+			if start < cursor {
+				start = cursor // never overlap the previous interval
+			}
+			if !open {
+				emit(StateCompute, cursor, start)
+				emit(StateFlush, start, e.Global)
+				cursor = e.Global
+			}
+		case e.ID == event.SPEProgramEnd:
+			if !open {
+				emit(StateCompute, cursor, e.Global)
+				cursor = e.Global
+			}
+		}
+	}
+	if open {
+		// Truncated trace: close the stall at the last event time.
+		last := evs[len(evs)-1].Global
+		emit(openState, openStart, last)
+	}
+	return out
+}
+
+// Intervals reconstructs state intervals for every SPE run in the trace.
+func Intervals(tr *Trace) []Interval {
+	var out []Interval
+	for run := range tr.Meta.Anchors {
+		out = append(out, RunIntervals(tr, run)...)
+	}
+	return out
+}
+
+// ppeStallState maps PPE Enter events to the state they open.
+var ppeStallState = map[event.ID]State{
+	event.PPEWaitEnter:         StateHostWait,
+	event.PPEReadOutMboxEnter:  StateStallMbox,
+	event.PPEReadIntrMboxEnter: StateStallMbox,
+	event.PPEWriteInMboxEnter:  StateStallMbox,
+	event.PPEWaitTagEnter:      StateStallDMA,
+	event.PPEAtomicEnter:       StateStallSync,
+}
+
+// PPEIntervals reconstructs the host lanes — one per PPE thread (the
+// main thread records as CorePPE, spawned threads count down), classified
+// by the host's blocking calls. Returns nil when the trace has no PPE
+// events. The interval Run field is -1 for the main thread, -2 for the
+// first spawned thread, and so on.
+func PPEIntervals(tr *Trace) []Interval {
+	var out []Interval
+	for core := int(event.CorePPE); core >= int(event.CorePPEBase); core-- {
+		out = append(out, ppeThreadIntervals(tr, uint8(core), -1-(int(event.CorePPE)-core))...)
+	}
+	return out
+}
+
+// ppeThreadIntervals builds the lane of one PPE thread.
+func ppeThreadIntervals(tr *Trace, core uint8, run int) []Interval {
+	var out []Interval
+	var cursor, lastPPE uint64
+	var started bool
+	var open bool
+	var openState State
+	var openStart uint64
+	emit := func(state State, start, end uint64) {
+		if end > start {
+			out = append(out, Interval{Core: core, Run: run, State: state, Start: start, End: end})
+		}
+	}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Core != core {
+			continue
+		}
+		if !started {
+			started = true
+			cursor = e.Global
+		}
+		lastPPE = e.Global
+		info, ok := event.Lookup(e.ID)
+		if !ok {
+			continue
+		}
+		switch info.Kind {
+		case event.KindEnter:
+			if st, stalls := ppeStallState[e.ID]; stalls && !open {
+				emit(StateCompute, cursor, e.Global)
+				open = true
+				openState = st
+				openStart = e.Global
+			}
+		case event.KindExit:
+			if open && ppeStallState[info.Pair] == openState {
+				emit(openState, openStart, e.Global)
+				open = false
+				cursor = e.Global
+			}
+		}
+	}
+	if !started {
+		return nil
+	}
+	if open {
+		emit(openState, openStart, lastPPE) // truncated trace
+	} else {
+		emit(StateCompute, cursor, lastPPE)
+	}
+	return out
+}

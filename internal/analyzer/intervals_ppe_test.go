@@ -1,0 +1,77 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core"
+)
+
+func TestPPEIntervals(t *testing.T) {
+	tr := simTrace(t, core.DefaultTraceConfig(), func(h cell.Host) {
+		hd := h.Run(0, "pv", func(spu cell.SPU) uint32 {
+			spu.Compute(50000)
+			return 0
+		})
+		h.Compute(1000)
+		h.Wait(hd) // long host-wait interval
+	})
+	ivs := PPEIntervals(tr)
+	if len(ivs) == 0 {
+		t.Fatal("no PPE intervals")
+	}
+	var hostWait uint64
+	for _, iv := range ivs {
+		if iv.Run != -1 || iv.Core != 0xFF {
+			t.Fatalf("bad PPE interval identity: %+v", iv)
+		}
+		if iv.State == StateHostWait {
+			hostWait += iv.Dur()
+		}
+	}
+	if hostWait == 0 {
+		t.Fatal("no host-wait time despite blocking Wait")
+	}
+	// Intervals must be non-overlapping and ordered.
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Start < ivs[i-1].End {
+			t.Fatalf("PPE intervals overlap: %+v then %+v", ivs[i-1], ivs[i])
+		}
+	}
+}
+
+func TestPPEIntervalsEmpty(t *testing.T) {
+	if PPEIntervals(&Trace{}) != nil {
+		t.Fatal("intervals on empty trace")
+	}
+}
+
+func TestTimelineIncludesPPELane(t *testing.T) {
+	tr := simTrace(t, core.DefaultTraceConfig(), func(h cell.Host) {
+		h.Wait(h.Run(0, "lane", func(spu cell.SPU) uint32 {
+			spu.Compute(10000)
+			return 0
+		}))
+	})
+	txt := Timeline(tr, 50)
+	if !strings.Contains(txt, "PPE") {
+		t.Fatalf("timeline missing PPE lane:\n%s", txt)
+	}
+	if !strings.Contains(txt, "w") {
+		t.Fatalf("PPE lane missing spe-wait glyph:\n%s", txt)
+	}
+	svg := SVGTimeline(tr, 300)
+	if !strings.Contains(svg, ">PPE<") {
+		t.Fatal("SVG missing PPE label")
+	}
+	if !strings.Contains(svg, stateColors[StateHostWait]) {
+		t.Fatal("SVG missing host-wait color")
+	}
+}
+
+func TestHostWaitStateString(t *testing.T) {
+	if StateHostWait.String() != "spe-wait" {
+		t.Fatalf("got %q", StateHostWait.String())
+	}
+}

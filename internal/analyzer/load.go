@@ -1,0 +1,176 @@
+// Package analyzer implements the TA (trace analyzer) side of the paper:
+// it loads PDT traces, reconstructs a globally ordered event stream from
+// the per-core buffers (converting SPU-decrementer timestamps to PPE
+// timebase time through the recorded anchor pairs), validates structural
+// invariants, derives per-core state intervals (compute vs. the various
+// stall classes), and produces the statistics, timelines and exports the
+// paper's use cases rely on.
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/core/traceio"
+)
+
+// Event is one trace record with its reconstructed global time (in
+// timebase ticks) and a stable sequence number.
+type Event struct {
+	event.Record
+	// Global is the event time in PPE timebase ticks.
+	Global uint64
+	// Run is the SPE program run index (anchor index) the event belongs
+	// to, or -1 for PPE events.
+	Run int
+	// Seq is the stable index of the event in the merged stream.
+	Seq int
+}
+
+// Issue is one validation finding.
+type Issue struct {
+	Severity string // "warn" or "error"
+	Msg      string
+}
+
+func (i Issue) String() string { return i.Severity + ": " + i.Msg }
+
+// Trace is a fully loaded and merged PDT trace.
+type Trace struct {
+	Header    traceio.Header
+	Meta      traceio.Meta
+	Events    []Event // merged, sorted by Global (stable)
+	Strings   map[uint64]string
+	Truncated bool
+	Issues    []Issue // populated by Load (decoding) and Validate
+}
+
+// LoadFile loads a trace from disk.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Load parses, decodes and merges a trace.
+func Load(r io.Reader) (*Trace, error) {
+	f, err := traceio.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromFile(f)
+}
+
+// FromFile merges an already-parsed trace file.
+func FromFile(f *traceio.File) (*Trace, error) {
+	tr := &Trace{
+		Header:    f.Header,
+		Meta:      f.Meta,
+		Strings:   map[uint64]string{},
+		Truncated: f.Truncated,
+	}
+	if f.Truncated {
+		tr.Issues = append(tr.Issues, Issue{"warn", "trace is truncated (crashed or incomplete run)"})
+	}
+	for _, d := range f.Meta.Drops {
+		tr.Issues = append(tr.Issues,
+			Issue{"warn", fmt.Sprintf("SPE %d dropped %d records (main trace region full)", d.SPE, d.Count)})
+	}
+	for _, c := range f.Chunks {
+		recs, trunc, err := traceio.DecodeChunk(c)
+		if err != nil {
+			return nil, err
+		}
+		if trunc {
+			tr.Issues = append(tr.Issues,
+				Issue{"warn", fmt.Sprintf("chunk for core %d truncated mid-record", c.Core)})
+		}
+		run := -1
+		var anchorTB uint64
+		if c.Core != event.CorePPE {
+			if int(c.AnchorIdx) >= len(f.Meta.Anchors) {
+				return nil, fmt.Errorf("analyzer: chunk for SPE %d references anchor %d of %d",
+					c.Core, c.AnchorIdx, len(f.Meta.Anchors))
+			}
+			a := f.Meta.Anchors[c.AnchorIdx]
+			if a.SPE != int(c.Core) {
+				tr.Issues = append(tr.Issues,
+					Issue{"error", fmt.Sprintf("anchor %d is for SPE %d but chunk is core %d", c.AnchorIdx, a.SPE, c.Core)})
+			}
+			run = int(c.AnchorIdx)
+			anchorTB = a.Timebase
+		}
+		for _, rec := range recs {
+			ev := Event{Record: rec, Run: run}
+			if rec.Flags&event.FlagDecrTime != 0 {
+				// SPU decrementer time: elapsed ticks since the anchor.
+				ev.Global = anchorTB + rec.Time
+			} else {
+				ev.Global = rec.Time
+			}
+			if rec.ID == event.StringDef && len(rec.Args) == 1 {
+				tr.Strings[rec.Args[0]] = rec.Str
+			}
+			tr.Events = append(tr.Events, ev)
+		}
+	}
+	sort.SliceStable(tr.Events, func(i, j int) bool {
+		return tr.Events[i].Global < tr.Events[j].Global
+	})
+	for i := range tr.Events {
+		tr.Events[i].Seq = i
+	}
+	return tr, nil
+}
+
+// StringRef resolves an interned string reference.
+func (tr *Trace) StringRef(ref uint64) string {
+	if s, ok := tr.Strings[ref]; ok {
+		return s
+	}
+	return fmt.Sprintf("<str:%d>", ref)
+}
+
+// CoreEvents returns the events of one core in stream order.
+func (tr *Trace) CoreEvents(core uint8) []Event {
+	var out []Event
+	for _, e := range tr.Events {
+		if e.Core == core {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RunEvents returns the events of one SPE program run in stream order.
+func (tr *Trace) RunEvents(run int) []Event {
+	var out []Event
+	for _, e := range tr.Events {
+		if e.Run == run {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Span returns the [first, last] global time covered by the trace.
+func (tr *Trace) Span() (start, end uint64) {
+	if len(tr.Events) == 0 {
+		return 0, 0
+	}
+	return tr.Events[0].Global, tr.Events[len(tr.Events)-1].Global
+}
+
+// CyclesPerTick converts timebase ticks to processor cycles.
+func (tr *Trace) CyclesPerTick() uint64 {
+	if tr.Header.TimebaseDiv == 0 {
+		return 1
+	}
+	return tr.Header.TimebaseDiv
+}

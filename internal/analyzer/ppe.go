@@ -1,0 +1,145 @@
+package analyzer
+
+import "github.com/celltrace/pdt/internal/core/event"
+
+// PPEStats aggregates the host-side view of a trace: how long the PPE
+// thread(s) spent blocked waiting on SPEs and mailboxes, and how much
+// proxy traffic they drove. The paper's TA shows the PPE lane alongside
+// the SPE lanes; these are its numbers.
+type PPEStats struct {
+	Records int
+	// SPEWaits counts spe_context_run-style waits; WaitTicks is their
+	// total blocked time.
+	SPEWaits  int
+	WaitTicks uint64
+	// MboxReads/Writes are completed host mailbox operations, with
+	// their blocked time.
+	MboxReads, MboxWrites int
+	MboxWaitTicks         uint64
+	// ProxyGets/Puts count proxy DMA commands and their bytes.
+	ProxyGets, ProxyPuts int
+	ProxyBytes           uint64
+	// ProxyWaitTicks is time blocked in proxy tag waits.
+	ProxyWaits     int
+	ProxyWaitTicks uint64
+}
+
+// SummarizePPE computes host-side statistics from the merged stream.
+func SummarizePPE(tr *Trace) PPEStats {
+	var st PPEStats
+	var enter = map[event.ID]uint64{} // open Enter timestamps by enter ID
+	for _, e := range tr.Events {
+		if e.IsSPE() {
+			continue
+		}
+		st.Records++
+		info, ok := event.Lookup(e.ID)
+		if !ok {
+			continue
+		}
+		switch info.Kind {
+		case event.KindEnter:
+			enter[e.ID] = e.Global
+		case event.KindExit:
+			start, open := enter[info.Pair]
+			if !open {
+				break
+			}
+			delete(enter, info.Pair)
+			d := e.Global - start
+			switch e.ID {
+			case event.PPEWaitExit:
+				st.SPEWaits++
+				st.WaitTicks += d
+			case event.PPEReadOutMboxExit, event.PPEReadIntrMboxExit:
+				st.MboxReads++
+				st.MboxWaitTicks += d
+			case event.PPEWriteInMboxExit:
+				st.MboxWrites++
+				st.MboxWaitTicks += d
+			case event.PPEWaitTagExit:
+				st.ProxyWaits++
+				st.ProxyWaitTicks += d
+			}
+		}
+		switch e.ID {
+		case event.PPEDMAGet:
+			st.ProxyGets++
+			st.ProxyBytes += e.Args[3]
+		case event.PPEDMAPut:
+			st.ProxyPuts++
+			st.ProxyBytes += e.Args[3]
+		}
+	}
+	return st
+}
+
+// ParallelismPoint is one bucket of the parallelism profile.
+type ParallelismPoint struct {
+	StartTick uint64
+	// Busy is the mean number of SPEs in compute state in the bucket.
+	Busy float64
+}
+
+// ParallelismSeries computes the SPE parallelism profile: per time bucket,
+// the average number of SPEs actively computing. Its time-average is the
+// trace's effective concurrency.
+func ParallelismSeries(tr *Trace, n int) []ParallelismPoint {
+	if n <= 0 {
+		n = 1
+	}
+	start, end := tr.Span()
+	if end <= start {
+		return nil
+	}
+	span := end - start
+	busy := make([]uint64, n)
+	for _, iv := range Intervals(tr) {
+		if iv.State != StateCompute {
+			continue
+		}
+		b0 := int((iv.Start - start) * uint64(n) / span)
+		b1 := int((iv.End - start) * uint64(n) / span)
+		if b1 >= n {
+			b1 = n - 1
+		}
+		for bk := b0; bk <= b1; bk++ {
+			lo := start + uint64(bk)*span/uint64(n)
+			hi := start + uint64(bk+1)*span/uint64(n)
+			s, e := iv.Start, iv.End
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			if e > s {
+				busy[bk] += e - s
+			}
+		}
+	}
+	out := make([]ParallelismPoint, n)
+	for i := range out {
+		out[i].StartTick = start + uint64(i)*span/uint64(n)
+		width := span / uint64(n)
+		if width > 0 {
+			out[i].Busy = float64(busy[i]) / float64(width)
+		}
+	}
+	return out
+}
+
+// EffectiveConcurrency is the time-averaged number of computing SPEs.
+func EffectiveConcurrency(tr *Trace) float64 {
+	start, end := tr.Span()
+	if end <= start {
+		return 0
+	}
+	var busy uint64
+	for _, iv := range Intervals(tr) {
+		if iv.State == StateCompute {
+			busy += iv.Dur()
+		}
+	}
+	return float64(busy) / float64(end-start)
+}

@@ -1,0 +1,100 @@
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// PairProfile aggregates all occurrences of one Enter/Exit event pair
+// across the trace: the TA statistics view ("where does blocked time go,
+// by API call").
+type PairProfile struct {
+	Enter event.ID
+	Count int
+	// Ticks is the duration distribution in timebase ticks.
+	Ticks Histogram
+}
+
+// Profile computes per-pair interval statistics over the whole trace.
+// Pairs are matched per core in stream order; unmatched enters (truncated
+// traces) are dropped.
+func Profile(tr *Trace) []PairProfile {
+	open := map[uint8]map[event.ID]uint64{} // core -> enterID -> start
+	acc := map[event.ID]*PairProfile{}
+	for _, e := range tr.Events {
+		info, ok := event.Lookup(e.ID)
+		if !ok {
+			continue
+		}
+		switch info.Kind {
+		case event.KindEnter:
+			m := open[e.Core]
+			if m == nil {
+				m = map[event.ID]uint64{}
+				open[e.Core] = m
+			}
+			m[e.ID] = e.Global
+		case event.KindExit:
+			m := open[e.Core]
+			if m == nil {
+				break
+			}
+			start, ok := m[info.Pair]
+			if !ok {
+				break
+			}
+			delete(m, info.Pair)
+			p := acc[info.Pair]
+			if p == nil {
+				p = &PairProfile{Enter: info.Pair}
+				acc[info.Pair] = p
+			}
+			p.Count++
+			p.Ticks.Add(e.Global - start)
+		}
+	}
+	out := make([]PairProfile, 0, len(acc))
+	for _, p := range acc {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ticks.Sum != out[j].Ticks.Sum {
+			return out[i].Ticks.Sum > out[j].Ticks.Sum
+		}
+		return out[i].Enter < out[j].Enter
+	})
+	return out
+}
+
+// WriteProfile renders the profile as a table, most expensive pair first.
+func WriteProfile(tr *Trace, w io.Writer) {
+	fmt.Fprintf(w, "%-28s %8s %12s %12s %12s\n", "interval", "count", "total ticks", "mean", "max")
+	for _, p := range Profile(tr) {
+		name := p.Enter.String()
+		// Strip the _ENTER suffix for readability.
+		if n := len(name); n > 6 && name[n-6:] == "_ENTER" {
+			name = name[:n-6]
+		}
+		fmt.Fprintf(w, "%-28s %8d %12d %12.1f %12d\n",
+			name, p.Count, p.Ticks.Sum, p.Ticks.Mean(), p.Ticks.Max)
+	}
+}
+
+// WriteIntervalsCSV exports the reconstructed state intervals:
+// run,core,state,start,end,ticks.
+func WriteIntervalsCSV(tr *Trace, w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "run,core,state,start_tick,end_tick,ticks"); err != nil {
+		return err
+	}
+	for _, iv := range Intervals(tr) {
+		_, err := fmt.Fprintf(w, "%d,%d,%s,%d,%d,%d\n",
+			iv.Run, iv.Core, iv.State, iv.Start, iv.End, iv.Dur())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

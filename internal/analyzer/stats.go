@@ -1,0 +1,266 @@
+package analyzer
+
+import (
+	"math"
+	"sort"
+
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// Histogram is a power-of-two bucketed histogram (bucket i counts values
+// in [2^i, 2^(i+1))).
+type Histogram struct {
+	Buckets [40]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// Add records one value.
+func (h *Histogram) Add(v uint64) {
+	b := 0
+	for x := v; x > 1; x >>= 1 {
+		b++
+	}
+	if b >= len(h.Buckets) {
+		b = len(h.Buckets) - 1
+	}
+	h.Buckets[b]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the average recorded value.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// RunSummary aggregates one SPE program run.
+type RunSummary struct {
+	Run     int
+	Core    uint8
+	Program string
+	Start   uint64 // timebase ticks
+	End     uint64
+	// Per-state time in timebase ticks.
+	StateTicks [int(numStates)]uint64
+	Events     int
+}
+
+// Wall returns the run duration.
+func (r *RunSummary) Wall() uint64 { return r.End - r.Start }
+
+// Busy returns compute ticks.
+func (r *RunSummary) Busy() uint64 { return r.StateTicks[StateCompute] }
+
+// Utilization returns compute time / wall time.
+func (r *RunSummary) Utilization() float64 {
+	if r.Wall() == 0 {
+		return 0
+	}
+	return float64(r.Busy()) / float64(r.Wall())
+}
+
+// DMASummary aggregates MFC activity for one run.
+type DMASummary struct {
+	Run        int
+	Core       uint8
+	Gets, Puts int
+	Lists      int
+	BytesIn    uint64 // toward local store (GET)
+	BytesOut   uint64 // toward main storage (PUT)
+	Waits      int
+	WaitTicks  Histogram // per-wait duration in timebase ticks
+	SizeBytes  Histogram // per-command transfer size
+}
+
+// MboxSummary aggregates mailbox activity for one run.
+type MboxSummary struct {
+	Run            int
+	Core           uint8
+	Reads, Writes  int
+	ReadWaitTicks  Histogram
+	WriteWaitTicks Histogram
+}
+
+// Summary is the full-trace report.
+type Summary struct {
+	Workload   string
+	WallTicks  uint64 // first to last event
+	Runs       []RunSummary
+	DMA        []DMASummary
+	Mbox       []MboxSummary
+	EventCount map[event.ID]int
+	TotalRecs  int
+	// LoadImbalance is max(busy)/mean(busy) over SPE runs (1.0 = even).
+	LoadImbalance float64
+	// FlushTicks is PDT's own overhead observed in the trace.
+	FlushTicks uint64
+}
+
+// Summarize computes the full-trace report.
+func Summarize(tr *Trace) *Summary {
+	s := &Summary{
+		Workload:   tr.Meta.Workload,
+		EventCount: map[event.ID]int{},
+		TotalRecs:  len(tr.Events),
+	}
+	start, end := tr.Span()
+	s.WallTicks = end - start
+
+	for _, e := range tr.Events {
+		s.EventCount[e.ID]++
+	}
+
+	for run, anchor := range tr.Meta.Anchors {
+		evs := tr.RunEvents(run)
+		if len(evs) == 0 {
+			continue
+		}
+		rs := RunSummary{Run: run, Core: evs[0].Core, Program: anchor.Program,
+			Start: evs[0].Global, End: evs[len(evs)-1].Global, Events: len(evs)}
+		for _, iv := range RunIntervals(tr, run) {
+			rs.StateTicks[iv.State] += iv.Dur()
+			if iv.State == StateFlush {
+				s.FlushTicks += iv.Dur()
+			}
+		}
+		s.Runs = append(s.Runs, rs)
+
+		ds := DMASummary{Run: run, Core: evs[0].Core}
+		ms := MboxSummary{Run: run, Core: evs[0].Core}
+		var waitStart uint64
+		var inWait bool
+		var mboxStart uint64
+		var mboxKind event.ID
+		for _, e := range evs {
+			switch e.ID {
+			case event.SPEMFCGet:
+				ds.Gets++
+				ds.BytesIn += e.Args[2]
+				ds.SizeBytes.Add(e.Args[2])
+			case event.SPEMFCPut:
+				ds.Puts++
+				ds.BytesOut += e.Args[2]
+				ds.SizeBytes.Add(e.Args[2])
+			case event.SPEMFCGetList:
+				ds.Lists++
+				ds.BytesIn += e.Args[2]
+				ds.SizeBytes.Add(e.Args[2])
+			case event.SPEMFCPutList:
+				ds.Lists++
+				ds.BytesOut += e.Args[2]
+				ds.SizeBytes.Add(e.Args[2])
+			case event.SPEWaitTagEnter:
+				inWait = true
+				waitStart = e.Global
+			case event.SPEWaitTagExit:
+				if inWait {
+					ds.Waits++
+					ds.WaitTicks.Add(e.Global - waitStart)
+					inWait = false
+				}
+			case event.SPEReadInMboxEnter:
+				mboxStart, mboxKind = e.Global, e.ID
+			case event.SPEReadInMboxExit:
+				if mboxKind == event.SPEReadInMboxEnter {
+					ms.Reads++
+					ms.ReadWaitTicks.Add(e.Global - mboxStart)
+					mboxKind = 0
+				}
+			case event.SPEWriteOutMboxEnter, event.SPEWriteIntrMboxEnter:
+				mboxStart, mboxKind = e.Global, e.ID
+			case event.SPEWriteOutMboxExit, event.SPEWriteIntrMboxExit:
+				if mboxKind != 0 && mboxKind != event.SPEReadInMboxEnter {
+					ms.Writes++
+					ms.WriteWaitTicks.Add(e.Global - mboxStart)
+					mboxKind = 0
+				}
+			}
+		}
+		s.DMA = append(s.DMA, ds)
+		s.Mbox = append(s.Mbox, ms)
+	}
+
+	// Load imbalance over runs (max busy / mean busy).
+	if len(s.Runs) > 0 {
+		var sum, max float64
+		for i := range s.Runs {
+			b := float64(s.Runs[i].Busy())
+			sum += b
+			max = math.Max(max, b)
+		}
+		mean := sum / float64(len(s.Runs))
+		if mean > 0 {
+			s.LoadImbalance = max / mean
+		}
+	}
+	return s
+}
+
+// TagStats aggregates DMA activity per MFC tag group across the trace —
+// the view that shows how an application partitions its transfer streams
+// (operand prefetch vs writeback vs trace flush).
+type TagStats struct {
+	Tag   int
+	Cmds  int
+	Bytes uint64
+}
+
+// TagBreakdown computes per-tag DMA statistics over all SPE runs.
+func TagBreakdown(tr *Trace) []TagStats {
+	var agg [32]TagStats
+	for _, e := range tr.Events {
+		switch e.ID {
+		case event.SPEMFCGet, event.SPEMFCPut, event.SPEMFCGetList, event.SPEMFCPutList:
+			tag := int(e.Args[3] % 32)
+			agg[tag].Tag = tag
+			agg[tag].Cmds++
+			agg[tag].Bytes += e.Args[2]
+		}
+	}
+	var out []TagStats
+	for _, t := range agg {
+		if t.Cmds > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bytes > out[j].Bytes })
+	return out
+}
+
+// TopEvents returns the (id, count) pairs sorted by descending count.
+type EventCount struct {
+	ID    event.ID
+	Count int
+}
+
+// TopEvents lists event counts in descending order.
+func (s *Summary) TopEvents() []EventCount {
+	out := make([]EventCount, 0, len(s.EventCount))
+	for id, n := range s.EventCount {
+		out = append(out, EventCount{id, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// TotalState sums one state's ticks across all runs.
+func (s *Summary) TotalState(st State) uint64 {
+	var total uint64
+	for i := range s.Runs {
+		total += s.Runs[i].StateTicks[st]
+	}
+	return total
+}

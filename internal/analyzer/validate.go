@@ -1,0 +1,139 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// Validate checks structural invariants of the merged stream and appends
+// findings to tr.Issues, returning the new findings:
+//
+//   - per-core timestamps are monotonically non-decreasing,
+//   - Enter/Exit events pair up properly per core (no unmatched or
+//     crossed pairs),
+//   - every SPE run is bracketed by SPE_PROGRAM_START / SPE_PROGRAM_END
+//     (unless the trace is truncated),
+//   - string references resolve,
+//   - mailbox conservation: SPU outbound writes >= PPE outbound reads,
+//     and likewise for the inbound direction.
+func Validate(tr *Trace) []Issue {
+	var issues []Issue
+	report := func(sev, format string, args ...interface{}) {
+		issues = append(issues, Issue{sev, fmt.Sprintf(format, args...)})
+	}
+
+	lastTime := map[uint8]uint64{}
+	openPairs := map[uint8][]event.ID{} // stack of open Enter events per core
+	runsSeen := map[int]bool{}
+	runEnded := map[int]bool{}
+	var spuOutWrites, ppeOutReads, ppeInWrites, spuInReads int
+
+	for _, e := range tr.Events {
+		info, ok := event.Lookup(e.ID)
+		if !ok {
+			report("error", "unknown event id %d at seq %d", e.ID, e.Seq)
+			continue
+		}
+		if last, seen := lastTime[e.Core]; seen && e.Global < last {
+			report("error", "core %d time went backwards at seq %d (%d < %d)", e.Core, e.Seq, e.Global, last)
+		}
+		lastTime[e.Core] = e.Global
+
+		switch info.Kind {
+		case event.KindEnter:
+			openPairs[e.Core] = append(openPairs[e.Core], e.ID)
+		case event.KindExit:
+			stack := openPairs[e.Core]
+			if len(stack) == 0 {
+				report("error", "core %d: %s without matching enter at seq %d", e.Core, info.Name, e.Seq)
+				break
+			}
+			top := stack[len(stack)-1]
+			if top != info.Pair {
+				report("error", "core %d: %s exits %s (crossed pair) at seq %d",
+					e.Core, info.Name, top, e.Seq)
+			}
+			openPairs[e.Core] = stack[:len(stack)-1]
+		}
+
+		switch e.ID {
+		case event.SPEProgramStart:
+			if runsSeen[e.Run] {
+				report("error", "run %d has duplicate SPE_PROGRAM_START", e.Run)
+			}
+			runsSeen[e.Run] = true
+			if ref := e.Args[0]; tr.Strings[ref] == "" {
+				report("warn", "run %d program name ref %d unresolved", e.Run, ref)
+			}
+		case event.SPEProgramEnd:
+			runEnded[e.Run] = true
+		case event.SPEWriteOutMboxExit:
+			spuOutWrites++
+		case event.PPEReadOutMboxExit:
+			ppeOutReads++
+		case event.PPEWriteInMboxExit:
+			ppeInWrites++
+		case event.SPEReadInMboxExit:
+			spuInReads++
+		}
+	}
+
+	for core, stack := range openPairs {
+		for _, id := range stack {
+			sev := "error"
+			if tr.Truncated {
+				sev = "warn"
+			}
+			report(sev, "core %d: %s never exited", core, id)
+		}
+	}
+	for run := range runsSeen {
+		if !runEnded[run] && !tr.Truncated {
+			report("error", "run %d has no SPE_PROGRAM_END", run)
+		}
+	}
+	// Conservation checks are only meaningful when both sides' event
+	// groups were recorded.
+	groups := groupMaskFromMeta(tr.Meta.Groups)
+	if groups&event.GroupMailbox != 0 && groups&event.GroupHost != 0 {
+		if ppeOutReads > spuOutWrites {
+			report("error", "mailbox conservation violated: PPE read %d outbound values but SPUs wrote %d",
+				ppeOutReads, spuOutWrites)
+		}
+		if spuInReads > ppeInWrites {
+			report("error", "mailbox conservation violated: SPUs read %d inbound values but PPE wrote %d",
+				spuInReads, ppeInWrites)
+		}
+	}
+
+	tr.Issues = append(tr.Issues, issues...)
+	return issues
+}
+
+// groupMaskFromMeta parses the "a|b|c" group list recorded in trace
+// metadata back into a mask; unknown names are ignored.
+func groupMaskFromMeta(s string) event.Group {
+	var mask event.Group
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '|' {
+			if g, ok := event.ParseGroup(s[start:i]); ok {
+				mask |= g
+			}
+			start = i + 1
+		}
+	}
+	return mask
+}
+
+// Errors filters issues down to severity "error".
+func Errors(issues []Issue) []Issue {
+	var out []Issue
+	for _, i := range issues {
+		if i.Severity == "error" {
+			out = append(out, i)
+		}
+	}
+	return out
+}

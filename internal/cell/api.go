@@ -1,0 +1,155 @@
+package cell
+
+// ListElem is one element of an MFC list (GETL/PUTL) command: a transfer of
+// Size bytes at effective address EA. Successive elements advance the
+// local-store address by the element size, as on hardware.
+type ListElem struct {
+	EA   uint64
+	Size int
+}
+
+// SPUProgram is the code an SPE runs. The return value plays the role of
+// the SPU stop-and-signal exit code.
+type SPUProgram func(spu SPU) uint32
+
+// SPU is the programming interface of one synergistic processing unit, as
+// seen by SPE-resident code (the analogue of the spu_mfcio intrinsics).
+// All blocking calls consume simulated time; Compute models pure
+// computation. Implementations are bound to the SPE's simulated process,
+// so an SPU must never be shared between programs.
+//
+// The PDT instrumented wrappers in internal/core implement this same
+// interface, so workloads run traced or untraced without modification.
+type SPU interface {
+	// Index returns the SPE number (0-based).
+	Index() int
+	// LS returns the local store. Reads and writes model load/store
+	// traffic that stays on-chip; bulk work should be paired with
+	// Compute for timing.
+	LS() []byte
+
+	// Get enqueues an MFC GET: transfer size bytes from effective
+	// address ea into local store at lsOff, tagged with tag. Blocks only
+	// when the MFC command queue is full.
+	Get(lsOff int, ea uint64, size int, tag int)
+	// Put enqueues an MFC PUT: local store -> effective address.
+	Put(lsOff int, ea uint64, size int, tag int)
+	// GetList enqueues an MFC list GET (scatter/gather into LS).
+	GetList(lsOff int, list []ListElem, tag int)
+	// PutList enqueues an MFC list PUT.
+	PutList(lsOff int, list []ListElem, tag int)
+
+	// WaitTagAll blocks until every tag group in mask has no outstanding
+	// commands (mfc_write_tag_mask + mfc_read_tag_status_all).
+	WaitTagAll(mask uint32)
+	// WaitTagAny blocks until at least one tag group in mask has no
+	// outstanding commands and returns the completed subset of mask.
+	WaitTagAny(mask uint32) uint32
+	// TagStatus returns, without blocking, the subset of mask whose tag
+	// groups have no outstanding commands.
+	TagStatus(mask uint32) uint32
+
+	// ReadInMbox reads the PPE->SPU mailbox, blocking while empty.
+	ReadInMbox() uint32
+	// TryReadInMbox is the non-blocking variant.
+	TryReadInMbox() (uint32, bool)
+	// InMboxCount returns the number of queued inbound entries.
+	InMboxCount() int
+	// WriteOutMbox writes the SPU->PPE mailbox, blocking while full.
+	WriteOutMbox(v uint32)
+	// TryWriteOutMbox is the non-blocking variant.
+	TryWriteOutMbox(v uint32) bool
+	// WriteOutIntrMbox writes the interrupting SPU->PPE mailbox.
+	WriteOutIntrMbox(v uint32)
+
+	// ReadSignal1 blocks until signal-notification register 1 is
+	// non-zero, then returns and clears it.
+	ReadSignal1() uint32
+	// ReadSignal2 is the second signal-notification register.
+	ReadSignal2() uint32
+	// Sndsig ORs v into another SPE's signal-notification register
+	// (mfc_sndsig): an MFC command on the given tag group, so it
+	// completes asynchronously and can be fenced with WaitTagAll.
+	Sndsig(spe int, reg int, v uint32, tag int)
+
+	// ReadDecr returns the SPU decrementer (counts down at the timebase
+	// frequency from the value loaded at program start).
+	ReadDecr() uint32
+
+	// Compute advances the SPU by the given number of cycles of pure
+	// computation.
+	Compute(cycles uint64)
+
+	// AtomicCAS performs an atomic compare-and-swap on the 8-byte
+	// big-endian word at ea (a getllar/putllc reservation sequence).
+	AtomicCAS(ea uint64, old, new uint64) bool
+	// AtomicAdd atomically adds delta to the 8-byte word at ea and
+	// returns the new value.
+	AtomicAdd(ea uint64, delta uint64) uint64
+
+	// Now returns the global simulated cycle. Real SPUs have no such
+	// register; it exists for assertions and for the tracing runtime.
+	Now() uint64
+}
+
+// Host is the PPE-side programming interface (the analogue of libspe2 plus
+// direct main-storage access). A Host is bound to one PPE thread's process.
+type Host interface {
+	// NumSPEs returns the machine's SPE count.
+	NumSPEs() int
+	// Machine returns the underlying machine (for stats and tracing).
+	Machine() *Machine
+	// Mem exposes main memory for direct PPE access.
+	Mem() []byte
+	// Alloc carves out main memory (convenience for Machine.Alloc).
+	Alloc(size, align int) uint64
+
+	// Run loads and starts prog on SPE spe and returns immediately with
+	// a handle. Starting costs SPEStartupCost cycles on the PPE thread.
+	Run(spe int, name string, prog SPUProgram) *SPEHandle
+	// Wait blocks until the handle's program returns and yields its
+	// exit code.
+	Wait(h *SPEHandle) uint32
+
+	// WriteInMbox writes SPE spe's PPE->SPU mailbox, blocking while full.
+	WriteInMbox(spe int, v uint32)
+	// TryWriteInMbox is the non-blocking variant.
+	TryWriteInMbox(spe int, v uint32) bool
+	// ReadOutMbox reads SPE spe's SPU->PPE mailbox, blocking while empty.
+	ReadOutMbox(spe int) uint32
+	// TryReadOutMbox is the non-blocking variant.
+	TryReadOutMbox(spe int) (uint32, bool)
+	// ReadOutIntrMbox reads the interrupting mailbox, blocking while
+	// empty (models the PPE taking the interrupt).
+	ReadOutIntrMbox(spe int) uint32
+
+	// WriteSignal1 ORs v into SPE spe's signal-notification register 1.
+	WriteSignal1(spe int, v uint32)
+	// WriteSignal2 ORs v into signal-notification register 2.
+	WriteSignal2(spe int, v uint32)
+
+	// DMAGet enqueues a proxy GET on SPE spe's MFC (spe_mfcio_get):
+	// main storage -> that SPE's local store. Blocks only on a full
+	// proxy queue.
+	DMAGet(spe int, lsOff int, ea uint64, size int, tag int)
+	// DMAPut is the proxy PUT: local store -> main storage.
+	DMAPut(spe int, lsOff int, ea uint64, size int, tag int)
+	// DMAWaitTagAll blocks until the given tag groups on SPE spe's MFC
+	// have no outstanding commands (proxy tag-status wait).
+	DMAWaitTagAll(spe int, mask uint32)
+
+	// Compute advances this PPE thread by the given cycles.
+	Compute(cycles uint64)
+	// Timebase returns the PPE timebase register.
+	Timebase() uint64
+	// Now returns the global simulated cycle.
+	Now() uint64
+
+	// AtomicCAS/AtomicAdd are the PPE's lwarx/stwcx-style primitives,
+	// coherent with the SPEs' MFC atomics.
+	AtomicCAS(ea uint64, old, new uint64) bool
+	AtomicAdd(ea uint64, delta uint64) uint64
+
+	// Spawn starts another PPE thread running fn with its own Host.
+	Spawn(name string, fn func(h Host))
+}

@@ -1,0 +1,62 @@
+package cell
+
+import (
+	"encoding/binary"
+
+	"github.com/celltrace/pdt/internal/sim"
+)
+
+// Atomic operations model the Cell's lock-line reservation primitives
+// (getllar/putllc on the SPE, lwarx/stwcx on the PPE) at the granularity of
+// one 8-byte big-endian word in main storage. All requesters serialize
+// through a single atomic unit, which is what the reservation protocol
+// effectively provides for contended lines, and each operation costs
+// AtomicCost cycles plus memory latency.
+
+// atomicCAS performs the compare-and-swap on behalf of process p.
+func (m *Machine) atomicCAS(p *sim.Proc, ea uint64, old, new uint64) bool {
+	m.atomicUnit.Acquire(p, 1)
+	p.Delay(m.cfg.AtomicCost + m.cfg.MemLatency)
+	buf := m.atomicWord(ea)
+	cur := binary.BigEndian.Uint64(buf)
+	ok := cur == old
+	if ok {
+		binary.BigEndian.PutUint64(buf, new)
+	}
+	m.atomicUnit.Release(1)
+	return ok
+}
+
+// atomicAdd adds delta to the word at ea and returns the new value.
+func (m *Machine) atomicAdd(p *sim.Proc, ea uint64, delta uint64) uint64 {
+	m.atomicUnit.Acquire(p, 1)
+	p.Delay(m.cfg.AtomicCost + m.cfg.MemLatency)
+	buf := m.atomicWord(ea)
+	v := binary.BigEndian.Uint64(buf) + delta
+	binary.BigEndian.PutUint64(buf, v)
+	m.atomicUnit.Release(1)
+	return v
+}
+
+// atomicWord resolves and validates the 8-byte target of an atomic op.
+func (m *Machine) atomicWord(ea uint64) []byte {
+	if ea%8 != 0 {
+		panic("cell: atomic operation on misaligned address")
+	}
+	buf, isLS, _ := m.resolveEA(ea, 8)
+	if isLS {
+		panic("cell: atomic operations target main storage, not local store")
+	}
+	return buf
+}
+
+// ReadWord64 reads the big-endian 8-byte word at ea without timing; it is
+// a host/test convenience coherent with the atomic ops.
+func (m *Machine) ReadWord64(ea uint64) uint64 {
+	return binary.BigEndian.Uint64(m.atomicWord(ea))
+}
+
+// WriteWord64 writes the big-endian 8-byte word at ea without timing.
+func (m *Machine) WriteWord64(ea uint64, v uint64) {
+	binary.BigEndian.PutUint64(m.atomicWord(ea), v)
+}

@@ -1,0 +1,253 @@
+package cell
+
+import (
+	"strings"
+	"testing"
+)
+
+func testMachine(t *testing.T, mut func(*Config)) *Machine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MemSize = 4 * MiB // keep tests light
+	if mut != nil {
+		mut(&cfg)
+	}
+	return NewMachine(cfg)
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.validate() // must not panic
+	if cfg.NumSPEs != 8 {
+		t.Fatalf("NumSPEs = %d, want 8", cfg.NumSPEs)
+	}
+	if cfg.LocalStore != 256*KiB {
+		t.Fatalf("LocalStore = %d, want 256 KiB", cfg.LocalStore)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero SPEs", func(c *Config) { c.NumSPEs = 0 }},
+		{"too many SPEs", func(c *Config) { c.NumSPEs = 17 }},
+		{"zero mem", func(c *Config) { c.MemSize = 0 }},
+		{"mem overlaps LS window", func(c *Config) { c.MemSize = LSBaseEA + 1 }},
+		{"zero LS", func(c *Config) { c.LocalStore = 0 }},
+		{"LS exceeds span", func(c *Config) { c.LocalStore = LSSpanEA + 1 }},
+		{"zero timebase div", func(c *Config) { c.TimebaseDiv = 0 }},
+		{"zero MFC depth", func(c *Config) { c.MFCQueueDepth = 0 }},
+		{"zero mbox depth", func(c *Config) { c.InMboxDepth = 0 }},
+		{"zero EIB rings", func(c *Config) { c.EIBRings = 0 }},
+		{"zero mem bandwidth", func(c *Config) { c.MemBytesPerCycle = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: validate did not panic", tc.name)
+				}
+			}()
+			cfg.validate()
+		})
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := testMachine(t, nil)
+	a := m.Alloc(10, 1)
+	b := m.Alloc(16, 128)
+	c := m.Alloc(1, 16)
+	if a != 0 {
+		t.Fatalf("first alloc at %d, want 0", a)
+	}
+	if b%128 != 0 {
+		t.Fatalf("alloc not 128-aligned: %d", b)
+	}
+	if c%16 != 0 || c < b+16 {
+		t.Fatalf("third alloc misplaced: %d", c)
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	m := testMachine(t, func(c *Config) { c.MemSize = 1 * KiB })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alloc past end did not panic")
+		}
+	}()
+	m.Alloc(2*KiB, 1)
+}
+
+func TestResolveEAMainMemory(t *testing.T) {
+	m := testMachine(t, nil)
+	buf, isLS, spe := m.resolveEA(128, 64)
+	if isLS || spe != -1 || len(buf) != 64 {
+		t.Fatalf("resolveEA main mem wrong: isLS=%v spe=%d len=%d", isLS, spe, len(buf))
+	}
+	buf[0] = 0xAB
+	if m.Mem()[128] != 0xAB {
+		t.Fatal("resolved buffer does not alias main memory")
+	}
+}
+
+func TestResolveEALocalStore(t *testing.T) {
+	m := testMachine(t, nil)
+	ea := LSEA(3, 256)
+	buf, isLS, spe := m.resolveEA(ea, 16)
+	if !isLS || spe != 3 {
+		t.Fatalf("resolveEA LS wrong: isLS=%v spe=%d", isLS, spe)
+	}
+	buf[0] = 0xCD
+	if m.SPE(3).LS()[256] != 0xCD {
+		t.Fatal("resolved buffer does not alias SPE 3 local store")
+	}
+}
+
+func TestResolveEAUnmappedPanics(t *testing.T) {
+	m := testMachine(t, nil)
+	for _, tc := range []struct {
+		name string
+		ea   uint64
+		size int
+	}{
+		{"hole between mem and LS", uint64(4 * MiB), 16},
+		{"past last SPE", LSBaseEA + 16*LSSpanEA, 16},
+		{"straddles LS end", LSEA(0, uint64(256*KiB-8)), 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			m.resolveEA(tc.ea, tc.size)
+		})
+	}
+}
+
+func TestTimebaseDivision(t *testing.T) {
+	m := testMachine(t, nil)
+	m.RunMain(func(h Host) {
+		h.Compute(400)
+		if tb := h.Timebase(); tb != 10 {
+			t.Errorf("Timebase after 400 cycles = %d, want 10 (div 40)", tb)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMainAndSPELaunch(t *testing.T) {
+	m := testMachine(t, nil)
+	var exit uint32
+	m.RunMain(func(h Host) {
+		hd := h.Run(0, "prog", func(spu SPU) uint32 {
+			spu.Compute(100)
+			return 42
+		})
+		exit = h.Wait(hd)
+		if !hd.Done() {
+			t.Error("handle not done after Wait")
+		}
+		if hd.ExitCode() != 42 {
+			t.Errorf("ExitCode = %d", hd.ExitCode())
+		}
+		if hd.Name() != "prog" || hd.SPE().Index() != 0 {
+			t.Error("handle metadata wrong")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if exit != 42 {
+		t.Fatalf("exit = %d, want 42", exit)
+	}
+}
+
+func TestSPEDoubleStartPanics(t *testing.T) {
+	m := testMachine(t, nil)
+	m.RunMain(func(h Host) {
+		block := func(spu SPU) uint32 { spu.Compute(1000000); return 0 }
+		h.Run(0, "first", block)
+		defer func() {
+			if recover() == nil {
+				t.Error("second Run on busy SPE did not panic")
+			}
+			panic("unwind") // keep the machine from deadlocking on the blocked SPE
+		}()
+		h.Run(0, "second", block)
+	})
+	defer func() { recover() }()
+	_ = m.Run()
+}
+
+func TestHostSpawnThread(t *testing.T) {
+	m := testMachine(t, nil)
+	ran := false
+	m.RunMain(func(h Host) {
+		h.Spawn("ppe:thread1", func(h2 Host) {
+			h2.Compute(10)
+			ran = true
+		})
+		h.Compute(100)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("spawned PPE thread did not run")
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	m := testMachine(t, nil)
+	m.RunMain(func(h Host) {
+		src := h.Alloc(1024, 16)
+		hd := h.Run(0, "dma", func(spu SPU) uint32 {
+			spu.Get(0, src, 1024, 0)
+			spu.WaitTagAll(1 << 0)
+			return 0
+		})
+		h.Wait(hd)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b, n, busy := m.EIBStats(); b != 1024 || n != 1 || busy == 0 {
+		t.Fatalf("EIBStats = %d,%d,%d", b, n, busy)
+	}
+	if b, n, _ := m.MemBusStats(); b != 1024 || n != 1 {
+		t.Fatalf("MemBusStats = %d,%d", b, n)
+	}
+	if cmds, bytes, lat := m.SPE(0).MFCStats(); cmds != 1 || bytes != 1024 || lat == 0 {
+		t.Fatalf("MFCStats = %d,%d,%d", cmds, bytes, lat)
+	}
+}
+
+func TestLSEAMapping(t *testing.T) {
+	if LSEA(0, 0) != LSBaseEA {
+		t.Fatal("LSEA(0,0) wrong")
+	}
+	if LSEA(7, 0x80) != LSBaseEA+7*LSSpanEA+0x80 {
+		t.Fatal("LSEA(7,0x80) wrong")
+	}
+}
+
+func TestCmdKindString(t *testing.T) {
+	for k, want := range map[cmdKind]string{
+		cmdGet: "GET", cmdPut: "PUT", cmdGetList: "GETL", cmdPutList: "PUTL",
+	} {
+		if k.String() != want {
+			t.Fatalf("cmdKind %d String = %q", k, k.String())
+		}
+	}
+	if !strings.Contains(cmdKind(99).String(), "?") {
+		t.Fatal("unknown cmdKind should stringify to ?")
+	}
+}

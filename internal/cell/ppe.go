@@ -1,0 +1,93 @@
+package cell
+
+import "github.com/celltrace/pdt/internal/sim"
+
+// hostCtx is the concrete (untraced) Host implementation, bound to one PPE
+// thread's simulation process.
+type hostCtx struct {
+	m    *Machine
+	p    *sim.Proc
+	name string
+}
+
+var _ Host = (*hostCtx)(nil)
+
+func (h *hostCtx) NumSPEs() int      { return len(h.m.spes) }
+func (h *hostCtx) Machine() *Machine { return h.m }
+func (h *hostCtx) Mem() []byte       { return h.m.mem }
+func (h *hostCtx) Now() uint64       { return h.p.Now() }
+func (h *hostCtx) Timebase() uint64  { return h.m.Timebase() }
+
+func (h *hostCtx) Alloc(size, align int) uint64 { return h.m.Alloc(size, align) }
+
+func (h *hostCtx) Run(spe int, name string, prog SPUProgram) *SPEHandle {
+	h.p.Delay(h.m.cfg.SPEStartupCost)
+	return h.m.spes[spe].start(name, prog, h.m.SPUWrap)
+}
+
+func (h *hostCtx) Wait(hd *SPEHandle) uint32 {
+	hd.done.Wait(h.p)
+	return hd.exitCode
+}
+
+func (h *hostCtx) WriteInMbox(spe int, v uint32) {
+	h.p.Delay(h.m.cfg.MboxAccessCost)
+	h.m.spes[spe].inMbox.Put(h.p, uint64(v))
+}
+
+func (h *hostCtx) TryWriteInMbox(spe int, v uint32) bool {
+	h.p.Delay(h.m.cfg.MboxAccessCost)
+	return h.m.spes[spe].inMbox.TryPut(uint64(v))
+}
+
+func (h *hostCtx) ReadOutMbox(spe int) uint32 {
+	h.p.Delay(h.m.cfg.MboxAccessCost)
+	return uint32(h.m.spes[spe].outMbox.Get(h.p))
+}
+
+func (h *hostCtx) TryReadOutMbox(spe int) (uint32, bool) {
+	h.p.Delay(h.m.cfg.MboxAccessCost)
+	v, ok := h.m.spes[spe].outMbox.TryGet()
+	return uint32(v), ok
+}
+
+func (h *hostCtx) ReadOutIntrMbox(spe int) uint32 {
+	h.p.Delay(h.m.cfg.MboxAccessCost)
+	return uint32(h.m.spes[spe].outIntrMbox.Get(h.p))
+}
+
+func (h *hostCtx) WriteSignal1(spe int, v uint32) {
+	h.p.Delay(h.m.cfg.SignalCost)
+	h.m.spes[spe].sig1.write(v)
+}
+
+func (h *hostCtx) WriteSignal2(spe int, v uint32) {
+	h.p.Delay(h.m.cfg.SignalCost)
+	h.m.spes[spe].sig2.write(v)
+}
+
+func (h *hostCtx) DMAGet(spe int, lsOff int, ea uint64, size int, tag int) {
+	h.m.spes[spe].mfc.issue(h.p, mfcCmd{kind: cmdGet, lsOff: lsOff, ea: ea, size: size, tag: tag})
+}
+
+func (h *hostCtx) DMAPut(spe int, lsOff int, ea uint64, size int, tag int) {
+	h.m.spes[spe].mfc.issue(h.p, mfcCmd{kind: cmdPut, lsOff: lsOff, ea: ea, size: size, tag: tag})
+}
+
+func (h *hostCtx) DMAWaitTagAll(spe int, mask uint32) {
+	h.m.spes[spe].mfc.waitAll(h.p, mask)
+}
+
+func (h *hostCtx) Compute(cycles uint64) { h.p.Delay(cycles) }
+
+func (h *hostCtx) AtomicCAS(ea uint64, old, new uint64) bool {
+	return h.m.atomicCAS(h.p, ea, old, new)
+}
+
+func (h *hostCtx) AtomicAdd(ea uint64, delta uint64) uint64 {
+	return h.m.atomicAdd(h.p, ea, delta)
+}
+
+func (h *hostCtx) Spawn(name string, fn func(h Host)) {
+	h.m.spawnHost(name, fn)
+}

@@ -1,0 +1,146 @@
+package cell
+
+import (
+	"fmt"
+
+	"github.com/celltrace/pdt/internal/sim"
+)
+
+// signalReg is one signal-notification register in OR mode: writers OR
+// bits in; the SPU read returns and clears the accumulated value.
+type signalReg struct {
+	value uint32
+	wq    *sim.WaitQueue
+}
+
+func (s *signalReg) write(v uint32) {
+	s.value |= v
+	if s.value != 0 {
+		s.wq.Broadcast()
+	}
+}
+
+func (s *signalReg) read(p *sim.Proc) uint32 {
+	for s.value == 0 {
+		s.wq.Wait(p)
+	}
+	v := s.value
+	s.value = 0
+	return v
+}
+
+// SPE is one synergistic processing element: local store, MFC, mailboxes
+// and signal registers. Program state (the running SPUProgram) is attached
+// by Host.Run.
+type SPE struct {
+	m   *Machine
+	idx int
+	ls  []byte
+
+	mfc *mfc
+
+	inMbox      *sim.Queue // PPE -> SPU
+	outMbox     *sim.Queue // SPU -> PPE
+	outIntrMbox *sim.Queue // SPU -> PPE, interrupting
+
+	sig1, sig2 *signalReg
+
+	// decrementer state: loaded value and the timebase tick at load.
+	decrLoaded uint32
+	decrAnchor uint64
+
+	running bool
+}
+
+func newSPE(m *Machine, idx int) *SPE {
+	e := m.eng
+	s := &SPE{
+		m:           m,
+		idx:         idx,
+		ls:          make([]byte, m.cfg.LocalStore),
+		inMbox:      sim.NewQueue(e, m.cfg.InMboxDepth),
+		outMbox:     sim.NewQueue(e, m.cfg.OutMboxDepth),
+		outIntrMbox: sim.NewQueue(e, m.cfg.OutIntrMboxDepth),
+		sig1:        &signalReg{wq: sim.NewWaitQueue(e)},
+		sig2:        &signalReg{wq: sim.NewWaitQueue(e)},
+	}
+	s.mfc = newMFC(s)
+	return s
+}
+
+// Index returns the SPE number.
+func (s *SPE) Index() int { return s.idx }
+
+// LS returns the local store backing array.
+func (s *SPE) LS() []byte { return s.ls }
+
+// MFCStats returns lifetime DMA statistics for this SPE's MFC:
+// commands executed, bytes moved, and summed command latency in cycles
+// (issue to completion).
+func (s *SPE) MFCStats() (cmds, bytes, latency uint64) {
+	return s.mfc.totalCmds, s.mfc.totalBytes, s.mfc.totalLatency
+}
+
+// loadDecrementer models the runtime writing the decrementer at program
+// start; PDT records the (timebase, decrementer) anchor pair.
+func (s *SPE) loadDecrementer(v uint32) {
+	s.decrLoaded = v
+	s.decrAnchor = s.m.Timebase()
+}
+
+// readDecrementer returns the current down-counter value.
+func (s *SPE) readDecrementer() uint32 {
+	elapsed := s.m.Timebase() - s.decrAnchor
+	return s.decrLoaded - uint32(elapsed)
+}
+
+// DecrAnchor returns the anchor pair (timebase tick, loaded value) set at
+// program start; the tracing runtime stores it in trace metadata so the
+// analyzer can convert decrementer timestamps to timebase time.
+func (s *SPE) DecrAnchor() (timebase uint64, loaded uint32) {
+	return s.decrAnchor, s.decrLoaded
+}
+
+// SPEHandle tracks one launched SPE program from the host side.
+type SPEHandle struct {
+	spe      *SPE
+	name     string
+	exitCode uint32
+	done     *sim.Event
+}
+
+// SPE returns the SPE the program was launched on.
+func (h *SPEHandle) SPE() *SPE { return h.spe }
+
+// Name returns the program name given to Run.
+func (h *SPEHandle) Name() string { return h.name }
+
+// Done reports whether the program has exited.
+func (h *SPEHandle) Done() bool { return h.done.IsSet() }
+
+// ExitCode returns the program's exit code; valid only after Done.
+func (h *SPEHandle) ExitCode() uint32 { return h.exitCode }
+
+// start spawns the SPU program as a simulation process.
+func (s *SPE) start(name string, prog SPUProgram, wrap SPUWrapper) *SPEHandle {
+	if s.running {
+		panic(fmt.Sprintf("cell: SPE %d already running a program", s.idx))
+	}
+	s.running = true
+	s.loadDecrementer(0xFFFFFFFF)
+	h := &SPEHandle{spe: s, name: name, done: sim.NewEvent(s.m.eng)}
+	s.m.eng.Spawn(fmt.Sprintf("spe%d:%s", s.idx, name), func(p *sim.Proc) {
+		var spu SPU = &spuCtx{spe: s, p: p}
+		var finish func(uint32)
+		if wrap != nil {
+			spu, finish = wrap(spu, name)
+		}
+		h.exitCode = prog(spu)
+		if finish != nil {
+			finish(h.exitCode)
+		}
+		s.running = false
+		h.done.Set()
+	})
+	return h
+}

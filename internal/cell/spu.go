@@ -1,0 +1,95 @@
+package cell
+
+import "github.com/celltrace/pdt/internal/sim"
+
+// spuCtx is the concrete (untraced) SPU implementation, bound to the SPE
+// program's simulation process.
+type spuCtx struct {
+	spe *SPE
+	p   *sim.Proc
+}
+
+var _ SPU = (*spuCtx)(nil)
+
+func (c *spuCtx) Index() int  { return c.spe.idx }
+func (c *spuCtx) LS() []byte  { return c.spe.ls }
+func (c *spuCtx) Now() uint64 { return c.p.Now() }
+
+func (c *spuCtx) Get(lsOff int, ea uint64, size int, tag int) {
+	c.spe.mfc.issue(c.p, mfcCmd{kind: cmdGet, lsOff: lsOff, ea: ea, size: size, tag: tag})
+}
+
+func (c *spuCtx) Put(lsOff int, ea uint64, size int, tag int) {
+	c.spe.mfc.issue(c.p, mfcCmd{kind: cmdPut, lsOff: lsOff, ea: ea, size: size, tag: tag})
+}
+
+func (c *spuCtx) GetList(lsOff int, list []ListElem, tag int) {
+	c.spe.mfc.issue(c.p, mfcCmd{kind: cmdGetList, lsOff: lsOff, list: list, tag: tag})
+}
+
+func (c *spuCtx) PutList(lsOff int, list []ListElem, tag int) {
+	c.spe.mfc.issue(c.p, mfcCmd{kind: cmdPutList, lsOff: lsOff, list: list, tag: tag})
+}
+
+func (c *spuCtx) WaitTagAll(mask uint32) { c.spe.mfc.waitAll(c.p, mask) }
+
+func (c *spuCtx) WaitTagAny(mask uint32) uint32 { return c.spe.mfc.waitAny(c.p, mask) }
+
+func (c *spuCtx) TagStatus(mask uint32) uint32 { return c.spe.mfc.status(mask) }
+
+func (c *spuCtx) ReadInMbox() uint32 {
+	c.p.Delay(c.spe.m.cfg.MboxAccessCost)
+	return uint32(c.spe.inMbox.Get(c.p))
+}
+
+func (c *spuCtx) TryReadInMbox() (uint32, bool) {
+	c.p.Delay(c.spe.m.cfg.MboxAccessCost)
+	v, ok := c.spe.inMbox.TryGet()
+	return uint32(v), ok
+}
+
+func (c *spuCtx) InMboxCount() int { return c.spe.inMbox.Len() }
+
+func (c *spuCtx) WriteOutMbox(v uint32) {
+	c.p.Delay(c.spe.m.cfg.MboxAccessCost)
+	c.spe.outMbox.Put(c.p, uint64(v))
+}
+
+func (c *spuCtx) TryWriteOutMbox(v uint32) bool {
+	c.p.Delay(c.spe.m.cfg.MboxAccessCost)
+	return c.spe.outMbox.TryPut(uint64(v))
+}
+
+func (c *spuCtx) WriteOutIntrMbox(v uint32) {
+	c.p.Delay(c.spe.m.cfg.MboxAccessCost)
+	c.spe.outIntrMbox.Put(c.p, uint64(v))
+}
+
+func (c *spuCtx) ReadSignal1() uint32 {
+	c.p.Delay(c.spe.m.cfg.SignalCost)
+	return c.spe.sig1.read(c.p)
+}
+
+func (c *spuCtx) ReadSignal2() uint32 {
+	c.p.Delay(c.spe.m.cfg.SignalCost)
+	return c.spe.sig2.read(c.p)
+}
+
+func (c *spuCtx) Sndsig(spe int, reg int, v uint32, tag int) {
+	c.spe.mfc.issue(c.p, mfcCmd{
+		kind: cmdSndsig, tag: tag,
+		sigTarget: c.spe.m.signalReg(spe, reg), sigValue: v,
+	})
+}
+
+func (c *spuCtx) ReadDecr() uint32 { return c.spe.readDecrementer() }
+
+func (c *spuCtx) Compute(cycles uint64) { c.p.Delay(cycles) }
+
+func (c *spuCtx) AtomicCAS(ea uint64, old, new uint64) bool {
+	return c.spe.m.atomicCAS(c.p, ea, old, new)
+}
+
+func (c *spuCtx) AtomicAdd(ea uint64, delta uint64) uint64 {
+	return c.spe.m.atomicAdd(c.p, ea, delta)
+}

@@ -1,0 +1,155 @@
+// Package cellsync provides SPE-side synchronization primitives built on
+// the MFC atomic (reservation) operations: a sense-reversing barrier, a
+// spin mutex, and a dynamic work queue. These are the substrate of the
+// paper's "sync" event group: each primitive emits PDT sync events when
+// the calling context is traced, so the analyzer can attribute time spent
+// in synchronization.
+//
+// All primitives live in main storage (one or two 8-byte words each) and
+// work identically from SPEs and the PPE.
+package cellsync
+
+import (
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// spinDelay is the backoff between atomic polls, in cycles. Polling a
+// contended line on real hardware costs a reservation round trip; the
+// backoff keeps the simulated atomic unit from livelocking the schedule.
+const spinDelay = 200
+
+// atomicOps abstracts the two contexts the primitives run under.
+type atomicOps interface {
+	AtomicCAS(ea uint64, old, new uint64) bool
+	AtomicAdd(ea uint64, delta uint64) uint64
+	Compute(cycles uint64)
+}
+
+var (
+	_ atomicOps = (cell.SPU)(nil)
+	_ atomicOps = (cell.Host)(nil)
+)
+
+// syncEvent emits a sync-group event when ctx is a traced SPU; host
+// contexts and untraced SPUs skip it (PPE sync activity is visible through
+// the atomic event group instead).
+func syncEvent(ctx atomicOps, id event.ID, args ...uint64) {
+	if spu, ok := ctx.(cell.SPU); ok {
+		core.Sync(spu, id, args...)
+	}
+}
+
+// Barrier is a sense-reversing barrier for a fixed number of parties,
+// occupying two 8-byte words in main storage: a count and a generation.
+type Barrier struct {
+	countEA uint64
+	genEA   uint64
+	parties uint64
+	id      uint64
+}
+
+// NewBarrier allocates barrier state in main memory for the given number
+// of parties. id labels the barrier in trace events.
+func NewBarrier(m *cell.Machine, id uint64, parties int) *Barrier {
+	if parties <= 0 {
+		panic("cellsync: barrier parties must be positive")
+	}
+	b := &Barrier{
+		countEA: m.Alloc(8, 8),
+		genEA:   m.Alloc(8, 8),
+		parties: uint64(parties),
+		id:      id,
+	}
+	m.WriteWord64(b.countEA, 0)
+	m.WriteWord64(b.genEA, 0)
+	return b
+}
+
+// Wait blocks until all parties arrive.
+func (b *Barrier) Wait(ctx atomicOps) {
+	syncEvent(ctx, event.SyncBarrierEnter, b.id)
+	// Read the generation BEFORE arriving: once we increment the count,
+	// the last arrival may bump the generation at any moment.
+	gen := ctx.AtomicAdd(b.genEA, 0) // read via add-zero
+	arrived := ctx.AtomicAdd(b.countEA, 1)
+	if arrived == b.parties {
+		// Last arrival: reset the count, then advance the generation.
+		if !ctx.AtomicCAS(b.countEA, b.parties, 0) {
+			panic("cellsync: barrier count corrupted (too many parties?)")
+		}
+		ctx.AtomicAdd(b.genEA, 1)
+	} else {
+		for ctx.AtomicAdd(b.genEA, 0) == gen {
+			ctx.Compute(spinDelay)
+		}
+	}
+	syncEvent(ctx, event.SyncBarrierExit, b.id)
+}
+
+// Mutex is a spin mutex on one 8-byte word (0 = free, owner id+1 = held).
+type Mutex struct {
+	ea uint64
+}
+
+// NewMutex allocates mutex state in main memory.
+func NewMutex(m *cell.Machine) *Mutex {
+	mu := &Mutex{ea: m.Alloc(8, 8)}
+	m.WriteWord64(mu.ea, 0)
+	return mu
+}
+
+// EA returns the mutex word's effective address (its identity in traces).
+func (mu *Mutex) EA() uint64 { return mu.ea }
+
+// Lock acquires the mutex, spinning with backoff.
+func (mu *Mutex) Lock(ctx atomicOps, owner uint64) {
+	syncEvent(ctx, event.SyncMutexEnter, mu.ea)
+	for !ctx.AtomicCAS(mu.ea, 0, owner+1) {
+		ctx.Compute(spinDelay)
+	}
+	syncEvent(ctx, event.SyncMutexAcquired, mu.ea)
+}
+
+// Unlock releases the mutex; it panics if the caller is not the owner.
+func (mu *Mutex) Unlock(ctx atomicOps, owner uint64) {
+	if !ctx.AtomicCAS(mu.ea, owner+1, 0) {
+		panic("cellsync: Unlock by non-owner")
+	}
+	syncEvent(ctx, event.SyncMutexRelease, mu.ea)
+}
+
+// WorkQueue is a dynamic work distributor: a single shared counter in main
+// storage handing out item indexes [0, total). It is the load-balancing
+// device of the paper's dynamic-partitioning use case.
+type WorkQueue struct {
+	ea    uint64
+	total uint64
+	id    uint64
+}
+
+// NewWorkQueue allocates a work queue handing out total items.
+func NewWorkQueue(m *cell.Machine, id uint64, total int) *WorkQueue {
+	if total < 0 {
+		panic("cellsync: negative work-queue size")
+	}
+	q := &WorkQueue{ea: m.Alloc(8, 8), total: uint64(total), id: id}
+	m.WriteWord64(q.ea, 0)
+	return q
+}
+
+// Next claims the next item index; ok is false when the queue is drained.
+func (q *WorkQueue) Next(ctx atomicOps) (item uint64, ok bool) {
+	syncEvent(ctx, event.SyncWQGetEnter, q.id)
+	v := ctx.AtomicAdd(q.ea, 1) - 1
+	if v >= q.total {
+		syncEvent(ctx, event.SyncWQGetExit, q.id, ^uint64(0))
+		return 0, false
+	}
+	syncEvent(ctx, event.SyncWQGetExit, q.id, v)
+	return v, true
+}
+
+// Total returns the number of items the queue hands out.
+func (q *WorkQueue) Total() uint64 { return q.total }

@@ -1,0 +1,108 @@
+package cellsync
+
+import (
+	"fmt"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// MsgQueue is a bounded multi-producer/multi-consumer queue of 8-byte
+// values in main storage, built on the atomic primitives: a ring of slots
+// plus ticket counters. It is the main-memory alternative to mailbox
+// token passing for work distribution between SPEs without PPE
+// involvement.
+//
+// Layout: [head u64][tail u64][seq u64 x cap][val u64 x cap]. A slot's
+// seq acts as its state: seq == ticket means free-to-write for that
+// ticket's producer; seq == ticket+1 means readable by that ticket's
+// consumer (the classic bounded MPMC ring).
+type MsgQueue struct {
+	baseEA   uint64
+	capacity uint64
+	id       uint64
+}
+
+// NewMsgQueue allocates a queue of the given capacity (a power of two).
+func NewMsgQueue(m *cell.Machine, id uint64, capacity int) *MsgQueue {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic(fmt.Sprintf("cellsync: MsgQueue capacity %d must be a power of two", capacity))
+	}
+	q := &MsgQueue{
+		baseEA:   m.Alloc((2+2*capacity)*8, 128),
+		capacity: uint64(capacity),
+		id:       id,
+	}
+	m.WriteWord64(q.headEA(), 0)
+	m.WriteWord64(q.tailEA(), 0)
+	for i := 0; i < capacity; i++ {
+		m.WriteWord64(q.seqEA(uint64(i)), uint64(i))
+	}
+	return q
+}
+
+func (q *MsgQueue) headEA() uint64 { return q.baseEA }
+func (q *MsgQueue) tailEA() uint64 { return q.baseEA + 8 }
+func (q *MsgQueue) seqEA(slot uint64) uint64 {
+	return q.baseEA + 16 + slot*8
+}
+func (q *MsgQueue) valEA(slot uint64) uint64 {
+	return q.baseEA + 16 + q.capacity*8 + slot*8
+}
+
+// Put enqueues v, spinning while the queue is full.
+func (q *MsgQueue) Put(ctx atomicOps, v uint64) {
+	syncEvent(ctx, event.SyncWQPut, q.id, v)
+	// Claim a ticket.
+	ticket := ctx.AtomicAdd(q.tailEA(), 1) - 1
+	slot := ticket & (q.capacity - 1)
+	// Wait for the slot to cycle around to our ticket.
+	for ctx.AtomicAdd(q.seqEA(slot), 0) != ticket {
+		ctx.Compute(spinDelay)
+	}
+	// Publish value, then flip the seq to readable.
+	q.writeVal(ctx, slot, v)
+	if !ctx.AtomicCAS(q.seqEA(slot), ticket, ticket+1) {
+		panic("cellsync: MsgQueue slot seq corrupted (producer)")
+	}
+}
+
+// Get dequeues a value, spinning while the queue is empty.
+func (q *MsgQueue) Get(ctx atomicOps) uint64 {
+	syncEvent(ctx, event.SyncWQGetEnter, q.id)
+	ticket := ctx.AtomicAdd(q.headEA(), 1) - 1
+	slot := ticket & (q.capacity - 1)
+	for ctx.AtomicAdd(q.seqEA(slot), 0) != ticket+1 {
+		ctx.Compute(spinDelay)
+	}
+	v := q.readVal(ctx, slot)
+	// Release the slot for the producer one lap later.
+	if !ctx.AtomicCAS(q.seqEA(slot), ticket+1, ticket+q.capacity) {
+		panic("cellsync: MsgQueue slot seq corrupted (consumer)")
+	}
+	syncEvent(ctx, event.SyncWQGetExit, q.id, v)
+	return v
+}
+
+// writeVal/readVal use the atomic path for the value word too: on the
+// model this serializes through the atomic unit, which stands in for the
+// release/acquire ordering the real hardware gets from the reservation
+// protocol.
+func (q *MsgQueue) writeVal(ctx atomicOps, slot uint64, v uint64) {
+	// CAS from whatever is there: an unconditional store via add of the
+	// difference would race, so read-modify-write until it sticks.
+	for {
+		cur := ctx.AtomicAdd(q.valEA(slot), 0)
+		if ctx.AtomicCAS(q.valEA(slot), cur, v) {
+			return
+		}
+		ctx.Compute(spinDelay)
+	}
+}
+
+func (q *MsgQueue) readVal(ctx atomicOps, slot uint64) uint64 {
+	return ctx.AtomicAdd(q.valEA(slot), 0)
+}
+
+// Cap returns the queue capacity.
+func (q *MsgQueue) Cap() int { return int(q.capacity) }

@@ -1,0 +1,155 @@
+package cellsync
+
+import (
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+)
+
+func TestMsgQueueSingleProducerConsumer(t *testing.T) {
+	m := newMachine(t)
+	q := NewMsgQueue(m, 1, 4)
+	const n = 50
+	var got []uint64
+	m.RunMain(func(h cell.Host) {
+		prod := h.Run(0, "prod", func(spu cell.SPU) uint32 {
+			for i := 0; i < n; i++ {
+				q.Put(spu, uint64(1000+i))
+			}
+			return 0
+		})
+		cons := h.Run(1, "cons", func(spu cell.SPU) uint32 {
+			for i := 0; i < n; i++ {
+				got = append(got, q.Get(spu))
+			}
+			return 0
+		})
+		h.Wait(prod)
+		h.Wait(cons)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i, v := range got {
+		if v != uint64(1000+i) {
+			t.Fatalf("got[%d] = %d (FIFO order broken)", i, v)
+		}
+	}
+}
+
+func TestMsgQueueMPMC(t *testing.T) {
+	m := newMachine(t)
+	q := NewMsgQueue(m, 1, 8)
+	const perProducer = 25
+	seen := map[uint64]int{}
+	m.RunMain(func(h cell.Host) {
+		var hs []*cell.SPEHandle
+		for p := 0; p < 3; p++ {
+			base := uint64(p * 1000)
+			hs = append(hs, h.Run(p, "prod", func(spu cell.SPU) uint32 {
+				for i := 0; i < perProducer; i++ {
+					q.Put(spu, base+uint64(i))
+				}
+				return 0
+			}))
+		}
+		for c := 0; c < 3; c++ {
+			hs = append(hs, h.Run(3+c, "cons", func(spu cell.SPU) uint32 {
+				for i := 0; i < perProducer; i++ {
+					seen[q.Get(spu)]++
+				}
+				return 0
+			}))
+		}
+		for _, hd := range hs {
+			h.Wait(hd)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3*perProducer {
+		t.Fatalf("distinct values = %d, want %d", len(seen), 3*perProducer)
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("value %d consumed %d times", v, c)
+		}
+	}
+}
+
+func TestMsgQueueBackpressure(t *testing.T) {
+	// Capacity 2: the producer's third Put must wait for a Get.
+	m := newMachine(t)
+	q := NewMsgQueue(m, 1, 2)
+	var thirdPutDone uint64
+	m.RunMain(func(h cell.Host) {
+		prod := h.Run(0, "prod", func(spu cell.SPU) uint32 {
+			q.Put(spu, 1)
+			q.Put(spu, 2)
+			q.Put(spu, 3) // blocks until the consumer runs at t>=200000
+			thirdPutDone = spu.Now()
+			return 0
+		})
+		cons := h.Run(1, "cons", func(spu cell.SPU) uint32 {
+			spu.Compute(200000)
+			for i := 0; i < 3; i++ {
+				q.Get(spu)
+			}
+			return 0
+		})
+		h.Wait(prod)
+		h.Wait(cons)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if thirdPutDone < 200000 {
+		t.Fatalf("third Put finished at %d, want >= 200000", thirdPutDone)
+	}
+}
+
+func TestMsgQueueWithPPE(t *testing.T) {
+	m := newMachine(t)
+	q := NewMsgQueue(m, 1, 4)
+	m.RunMain(func(h cell.Host) {
+		hd := h.Run(0, "echo", func(spu cell.SPU) uint32 {
+			for {
+				v := q.Get(spu)
+				if v == 0 {
+					return 0
+				}
+				q.Put(spu, v*2)
+			}
+		})
+		q.Put(h, 21)
+		if v := q.Get(h); v != 42 {
+			t.Errorf("echo = %d", v)
+		}
+		q.Put(h, 0)
+		h.Wait(hd)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 4 {
+		t.Fatalf("Cap = %d", q.Cap())
+	}
+}
+
+func TestMsgQueueValidation(t *testing.T) {
+	m := newMachine(t)
+	for _, c := range []int{0, 3, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity %d accepted", c)
+				}
+			}()
+			NewMsgQueue(m, 1, c)
+		}()
+	}
+}

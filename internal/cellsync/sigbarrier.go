@@ -1,0 +1,74 @@
+package cellsync
+
+import (
+	"fmt"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// SignalBarrier is a barrier built entirely on the signal-notification
+// fabric, the classic low-latency alternative to the atomic barrier on
+// Cell: participants (SPEs 0..parties-1) send their arrival bit to the
+// master SPE's signal register 2 with mfc_sndsig; the master collects all
+// bits and releases everyone with a broadcast bit. No main-storage traffic
+// is involved, so its latency is EIB-bound rather than memory-bound — the
+// E12 ablation quantifies the difference against Barrier.
+type SignalBarrier struct {
+	parties int
+	master  int
+	tag     int
+	id      uint64
+}
+
+// releaseBit is the master's broadcast bit (disjoint from arrival bits,
+// which limits parties to 31).
+const releaseBit = uint32(1) << 31
+
+// NewSignalBarrier builds a barrier for SPEs 0..parties-1 using signal
+// register 2 and the given MFC tag group for the sends.
+func NewSignalBarrier(id uint64, parties, tag int) *SignalBarrier {
+	if parties <= 0 || parties > 31 {
+		panic("cellsync: SignalBarrier parties must be in 1..31")
+	}
+	if tag < 0 || tag >= 32 {
+		panic("cellsync: SignalBarrier tag out of range")
+	}
+	return &SignalBarrier{parties: parties, master: 0, tag: tag, id: id}
+}
+
+// Wait blocks spu until all parties arrive. spu.Index() must be in
+// 0..parties-1 and each index must participate exactly once per round.
+func (b *SignalBarrier) Wait(spu cell.SPU) {
+	idx := spu.Index()
+	if idx >= b.parties {
+		panic(fmt.Sprintf("cellsync: SPE %d outside the %d-party signal barrier", idx, b.parties))
+	}
+	core.Sync(spu, event.SyncBarrierEnter, b.id)
+	if idx == b.master {
+		// Collect every other participant's arrival bit.
+		want := uint32(1)<<uint(b.parties) - 1
+		want &^= 1 << uint(b.master)
+		var got uint32
+		for got&want != want {
+			if want == 0 {
+				break
+			}
+			got |= spu.ReadSignal2()
+		}
+		// Release the others.
+		for p := 0; p < b.parties; p++ {
+			if p != b.master {
+				spu.Sndsig(p, 2, releaseBit, b.tag)
+			}
+		}
+		spu.WaitTagAll(1 << uint(b.tag))
+	} else {
+		spu.Sndsig(b.master, 2, 1<<uint(idx), b.tag)
+		spu.WaitTagAll(1 << uint(b.tag))
+		for spu.ReadSignal2()&releaseBit == 0 {
+		}
+	}
+	core.Sync(spu, event.SyncBarrierExit, b.id)
+}

@@ -1,0 +1,160 @@
+package cellsync
+
+import (
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+)
+
+func TestSignalBarrierAllArrive(t *testing.T) {
+	m := newMachine(t)
+	b := NewSignalBarrier(1, 4, 9)
+	var exits []uint64
+	m.RunMain(func(h cell.Host) {
+		var hs []*cell.SPEHandle
+		for i := 0; i < 4; i++ {
+			w := uint64((i + 1) * 10000)
+			hs = append(hs, h.Run(i, "sb", func(spu cell.SPU) uint32 {
+				spu.Compute(w)
+				b.Wait(spu)
+				exits = append(exits, spu.Now())
+				return 0
+			}))
+		}
+		for _, hd := range hs {
+			h.Wait(hd)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(exits) != 4 {
+		t.Fatalf("exits = %d", len(exits))
+	}
+	for i, e := range exits {
+		if e < 40000 {
+			t.Fatalf("party %d exited at %d before last arrival", i, e)
+		}
+	}
+}
+
+func TestSignalBarrierReusable(t *testing.T) {
+	m := newMachine(t)
+	const parties, rounds = 3, 6
+	b := NewSignalBarrier(1, parties, 9)
+	counts := make([]int, rounds)
+	m.RunMain(func(h cell.Host) {
+		var hs []*cell.SPEHandle
+		for i := 0; i < parties; i++ {
+			idx := i
+			hs = append(hs, h.Run(i, "sbr", func(spu cell.SPU) uint32 {
+				for r := 0; r < rounds; r++ {
+					spu.Compute(uint64(500 * (idx + 1)))
+					b.Wait(spu)
+					counts[r]++
+				}
+				return 0
+			}))
+		}
+		for _, hd := range hs {
+			h.Wait(hd)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r, c := range counts {
+		if c != parties {
+			t.Fatalf("round %d count = %d", r, c)
+		}
+	}
+}
+
+func TestSignalBarrierSingleParty(t *testing.T) {
+	m := newMachine(t)
+	b := NewSignalBarrier(1, 1, 9)
+	m.RunMain(func(h cell.Host) {
+		h.Wait(h.Run(0, "solo", func(spu cell.SPU) uint32 {
+			for i := 0; i < 3; i++ {
+				b.Wait(spu) // must not block: nothing to collect
+			}
+			return 0
+		}))
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalBarrierValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero parties": func() { NewSignalBarrier(1, 0, 9) },
+		"too many":     func() { NewSignalBarrier(1, 32, 9) },
+		"bad tag":      func() { NewSignalBarrier(1, 4, 32) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestSignalBarrierWrongSPEPanics(t *testing.T) {
+	m := newMachine(t)
+	b := NewSignalBarrier(1, 2, 9)
+	m.RunMain(func(h cell.Host) {
+		h.Wait(h.Run(5, "out", func(spu cell.SPU) uint32 {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for out-of-set SPE")
+				}
+			}()
+			b.Wait(spu)
+			return 0
+		}))
+	})
+	_ = m.Run()
+}
+
+// TestBarrierMechanismLatency compares the two barrier implementations:
+// the signal barrier must beat the atomic barrier (no main-storage round
+// trips and no spin backoff).
+func TestBarrierMechanismLatency(t *testing.T) {
+	const parties, rounds = 4, 20
+	measure := func(useSignal bool) uint64 {
+		m := newMachine(t)
+		ab := NewBarrier(m, 1, parties)
+		sb := NewSignalBarrier(2, parties, 9)
+		m.RunMain(func(h cell.Host) {
+			var hs []*cell.SPEHandle
+			for i := 0; i < parties; i++ {
+				hs = append(hs, h.Run(i, "lat", func(spu cell.SPU) uint32 {
+					for r := 0; r < rounds; r++ {
+						if useSignal {
+							sb.Wait(spu)
+						} else {
+							ab.Wait(spu)
+						}
+					}
+					return 0
+				}))
+			}
+			for _, hd := range hs {
+				h.Wait(hd)
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Now()
+	}
+	atomic := measure(false)
+	signal := measure(true)
+	if signal >= atomic {
+		t.Fatalf("signal barrier (%d cycles) not faster than atomic (%d)", signal, atomic)
+	}
+}

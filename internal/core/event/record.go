@@ -1,0 +1,184 @@
+package event
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// CorePPE is the Record.Core value for events from the main PPE thread;
+// SPE records carry the SPE index. Additional PPE threads count downward
+// from CorePPE (0xFE, 0xFD, ...) so every thread has its own ordered
+// stream, down to CorePPEBase.
+const (
+	CorePPE     = 0xFF
+	CorePPEBase = 0xF0
+)
+
+// CoreName renders a core byte for humans: "SPE3", "PPE", "PPE.1", ...
+func CoreName(c uint8) string {
+	if c < CorePPEBase {
+		return fmt.Sprintf("SPE%d", c)
+	}
+	if c == CorePPE {
+		return "PPE"
+	}
+	return fmt.Sprintf("PPE.%d", CorePPE-c)
+}
+
+// Record flags.
+const (
+	// FlagDecrTime marks Time as elapsed SPU-decrementer ticks since the
+	// program-start anchor (SPE records); without it Time is an absolute
+	// PPE timebase tick.
+	FlagDecrTime = 1 << 0
+	// FlagHasStr marks a trailing string payload.
+	FlagHasStr = 1 << 1
+)
+
+// MaxStrLen is the longest string payload a record can carry; longer
+// strings are truncated by the writer.
+const MaxStrLen = 200
+
+// headerSize is the fixed part of an encoded record:
+// size u8 | id u16 | core u8 | flags u8 | time u64 | nargs u8.
+const headerSize = 1 + 2 + 1 + 1 + 8 + 1
+
+// Record is one decoded trace record.
+type Record struct {
+	ID    ID
+	Core  uint8 // SPE index, or CorePPE
+	Flags uint8
+	Time  uint64
+	Args  []uint64
+	Str   string
+}
+
+// IsSPE reports whether the record came from an SPE.
+func (r *Record) IsSPE() bool { return r.Core < CorePPEBase }
+
+// EncodedSize returns the byte length of the encoded record.
+func (r *Record) EncodedSize() int {
+	n := headerSize + 8*len(r.Args)
+	if r.Flags&FlagHasStr != 0 {
+		n += 2 + len(r.Str)
+	}
+	return n
+}
+
+// ErrRecordTooLarge is returned when a record cannot fit the 1-byte size
+// field; writers must truncate strings to MaxStrLen to avoid it.
+var ErrRecordTooLarge = errors.New("event: record exceeds 255 bytes")
+
+// AppendTo appends the encoded record to buf and returns the result.
+func (r *Record) AppendTo(buf []byte) ([]byte, error) {
+	size := r.EncodedSize()
+	if size > 255 {
+		return buf, ErrRecordTooLarge
+	}
+	buf = append(buf, byte(size))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(r.ID))
+	buf = append(buf, r.Core, r.Flags)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Time)
+	buf = append(buf, byte(len(r.Args)))
+	for _, a := range r.Args {
+		buf = binary.LittleEndian.AppendUint64(buf, a)
+	}
+	if r.Flags&FlagHasStr != 0 {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Str)))
+		buf = append(buf, r.Str...)
+	}
+	return buf, nil
+}
+
+// Decode decodes one record from the front of buf, returning the record
+// and the number of bytes consumed. Errors identify structural corruption;
+// an io-style short buffer yields ErrShortRecord so stream readers can
+// distinguish truncation from garbage.
+var ErrShortRecord = errors.New("event: truncated record")
+
+// Decode parses the first record in buf.
+func Decode(buf []byte) (Record, int, error) {
+	if len(buf) < 1 {
+		return Record{}, 0, ErrShortRecord
+	}
+	size := int(buf[0])
+	if size < headerSize {
+		return Record{}, 0, fmt.Errorf("event: record size %d below header size", size)
+	}
+	if len(buf) < size {
+		return Record{}, 0, ErrShortRecord
+	}
+	var r Record
+	r.ID = ID(binary.LittleEndian.Uint16(buf[1:3]))
+	r.Core = buf[3]
+	r.Flags = buf[4]
+	r.Time = binary.LittleEndian.Uint64(buf[5:13])
+	nargs := int(buf[13])
+	info, ok := Lookup(r.ID)
+	if !ok {
+		return Record{}, 0, fmt.Errorf("event: unknown event ID %d", r.ID)
+	}
+	if nargs != len(info.Args) {
+		return Record{}, 0, fmt.Errorf("event: %s has %d args, expected %d", info.Name, nargs, len(info.Args))
+	}
+	off := headerSize
+	if off+8*nargs > size {
+		return Record{}, 0, fmt.Errorf("event: %s args overflow record size", info.Name)
+	}
+	if nargs > 0 {
+		r.Args = make([]uint64, nargs)
+		for i := range r.Args {
+			r.Args[i] = binary.LittleEndian.Uint64(buf[off : off+8])
+			off += 8
+		}
+	}
+	if r.Flags&FlagHasStr != 0 {
+		if off+2 > size {
+			return Record{}, 0, fmt.Errorf("event: %s string length overflows record", info.Name)
+		}
+		n := int(binary.LittleEndian.Uint16(buf[off : off+2]))
+		off += 2
+		if off+n != size {
+			return Record{}, 0, fmt.Errorf("event: %s string payload inconsistent with record size", info.Name)
+		}
+		r.Str = string(buf[off : off+n])
+		off += n
+	}
+	if off != size {
+		return Record{}, 0, fmt.Errorf("event: %s trailing bytes in record", info.Name)
+	}
+	return r, size, nil
+}
+
+// Arg returns the value of the named argument, looked up through the
+// metadata table.
+func (r *Record) Arg(name string) (uint64, bool) {
+	info, ok := Lookup(r.ID)
+	if !ok {
+		return 0, false
+	}
+	for i, n := range info.Args {
+		if n == name && i < len(r.Args) {
+			return r.Args[i], true
+		}
+	}
+	return 0, false
+}
+
+// String renders the record for human consumption.
+func (r *Record) String() string {
+	info, _ := Lookup(r.ID)
+	s := fmt.Sprintf("[%s t=%d] %s", CoreName(r.Core), r.Time, info.Name)
+	for i, a := range r.Args {
+		name := fmt.Sprintf("a%d", i)
+		if i < len(info.Args) {
+			name = info.Args[i]
+		}
+		s += fmt.Sprintf(" %s=%d", name, a)
+	}
+	if r.Flags&FlagHasStr != 0 {
+		s += fmt.Sprintf(" %q", r.Str)
+	}
+	return s
+}

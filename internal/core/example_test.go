@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/core/traceio"
+)
+
+// ExampleSession traces one SPE program and decodes the resulting trace
+// records. Tracing is configured per event group, exactly like the
+// original PDT's XML configuration.
+func ExampleSession() {
+	mc := cell.DefaultConfig()
+	mc.MemSize = 8 * cell.MiB
+	m := cell.NewMachine(mc)
+
+	cfg := core.DefaultTraceConfig()
+	cfg.Groups = event.GroupLifecycle | event.GroupMFC // only DMA activity
+	cfg.Workload = "example"
+	session := core.NewSession(m, cfg)
+	session.Attach()
+
+	m.RunMain(func(h cell.Host) {
+		src := h.Alloc(256, 16)
+		h.Wait(h.Run(0, "reader", func(spu cell.SPU) uint32 {
+			spu.Get(0, src, 256, 5)
+			spu.WaitTagAll(1 << 5)
+			core.UserLog(spu, "not recorded: user group is off")
+			return 0
+		}))
+	})
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+
+	var buf bytes.Buffer
+	if err := session.WriteTrace(&buf); err != nil {
+		panic(err)
+	}
+	f, err := traceio.Parse(buf.Bytes())
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range f.Chunks {
+		if c.Core == event.CorePPE {
+			continue
+		}
+		recs, _, err := traceio.DecodeChunk(c)
+		if err != nil {
+			panic(err)
+		}
+		for _, r := range recs {
+			fmt.Println(r.ID)
+		}
+	}
+	// Output:
+	// SPE_PROGRAM_START
+	// SPE_MFC_GET
+	// SPE_WAIT_TAG_ENTER
+	// SPE_WAIT_TAG_EXIT
+	// SPE_PROGRAM_END
+}

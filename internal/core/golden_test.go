@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden trace file")
+
+// goldenTrace produces a fixed, deterministic trace exercising most
+// record types.
+func goldenTrace(t *testing.T) []byte {
+	t.Helper()
+	mc := cell.DefaultConfig()
+	mc.NumSPEs = 2
+	mc.MemSize = 16 * cell.MiB
+	m := cell.NewMachine(mc)
+	cfg := DefaultTraceConfig()
+	cfg.Workload = "golden"
+	cfg.Params = map[string]string{"v": "1"}
+	s := NewSession(m, cfg)
+	s.Attach()
+	m.RunMain(func(h cell.Host) {
+		src := h.Alloc(4096, 128)
+		atomicEA := h.Alloc(8, 8)
+		hd := h.Run(0, "golden-prog", func(spu cell.SPU) uint32 {
+			spu.Get(0, src, 1024, 0)
+			spu.WaitTagAll(1)
+			spu.Put(0, src, 512, 1)
+			spu.WaitTagAll(1 << 1)
+			spu.GetList(2048, []cell.ListElem{{EA: src, Size: 64}}, 2)
+			spu.WaitTagAll(1 << 2)
+			spu.AtomicAdd(atomicEA, 5)
+			User(spu, 9, 1, 2)
+			UserLog(spu, "golden")
+			spu.WriteOutMbox(0xAB)
+			spu.Sndsig(1, 1, 2, 3)
+			spu.WaitTagAll(1 << 3)
+			return 7
+		})
+		hd2 := h.Run(1, "golden-sink", func(spu cell.SPU) uint32 {
+			if spu.ReadSignal1() == 0 {
+				return 1
+			}
+			return 0
+		})
+		if h.ReadOutMbox(0) != 0xAB {
+			t.Error("mbox wrong")
+		}
+		h.Wait(hd)
+		h.Wait(hd2)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraceFormatStable guards the on-disk format: any byte change
+// to encoding, event IDs, metadata layout, timing model or scheduler
+// order shows up here. Regenerate deliberately with
+// `go test ./internal/core -run Golden -update-golden` and review the
+// diff before committing.
+func TestGoldenTraceFormatStable(t *testing.T) {
+	got := goldenTrace(t)
+	path := filepath.Join("testdata", "golden.pdt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace bytes changed: got %d bytes, golden %d bytes — the file "+
+			"format, event table, timing model or schedule changed; if intentional, "+
+			"re-run with -update-golden and bump the format version",
+			len(got), len(want))
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// TestPPEThreadIdentity checks that each traced PPE thread records under
+// its own core byte, keeping per-thread streams individually ordered.
+func TestPPEThreadIdentity(t *testing.T) {
+	f, _ := traceRun(t, DefaultTraceConfig(), nil, func(h cell.Host) {
+		h.Spawn("ppe:second", func(h2 cell.Host) {
+			HostUser(h2, 2, 0, 0)
+			h2.Compute(1000)
+			HostUser(h2, 2, 1, 0)
+		})
+		HostUser(h, 1, 0, 0)
+		h.Compute(5000)
+		HostUser(h, 1, 1, 0)
+	})
+	cores := map[uint8]int{}
+	for _, rec := range allRecords(t, f) {
+		if rec.ID == event.PPEUserEvent {
+			cores[rec.Core]++
+		}
+	}
+	if cores[event.CorePPE] != 2 {
+		t.Fatalf("main thread events = %d, want 2", cores[event.CorePPE])
+	}
+	if cores[event.CorePPE-1] != 2 {
+		t.Fatalf("second thread events = %d, want 2 (cores seen: %v)", cores[event.CorePPE-1], cores)
+	}
+}
+
+// TestManyPPEThreadsExhaustCores verifies the thread-core limit fails
+// loudly instead of corrupting streams.
+func TestManyPPEThreadsExhaustCores(t *testing.T) {
+	mc := cell.DefaultConfig()
+	mc.MemSize = 8 * cell.MiB
+	m := cell.NewMachine(mc)
+	s := NewSession(m, DefaultTraceConfig())
+	s.Attach()
+	// The wrapper runs when each spawned thread starts, so the panic
+	// surfaces out of Machine.Run.
+	panicked := false
+	func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		m.RunMain(func(h cell.Host) {
+			for i := 0; i < 20; i++ {
+				h.Spawn("t", func(h2 cell.Host) {})
+			}
+		})
+		_ = m.Run()
+	}()
+	if !panicked {
+		t.Fatal("no panic after exhausting PPE thread cores")
+	}
+}
+
+func TestCoreName(t *testing.T) {
+	for c, want := range map[uint8]string{
+		0:                 "SPE0",
+		7:                 "SPE7",
+		event.CorePPE:     "PPE",
+		event.CorePPE - 1: "PPE.1",
+		event.CorePPEBase: "PPE.15",
+	} {
+		if got := event.CoreName(c); got != want {
+			t.Errorf("CoreName(%#x) = %q, want %q", c, got, want)
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/core/traceio"
+)
+
+// traceRun executes main on a small traced machine and returns the parsed
+// trace plus the session.
+func traceRun(t *testing.T, cfg Config, mutMachine func(*cell.Config), main func(h cell.Host)) (*traceio.File, *Session) {
+	t.Helper()
+	mc := cell.DefaultConfig()
+	mc.MemSize = 16 * cell.MiB
+	if mutMachine != nil {
+		mutMachine(&mc)
+	}
+	m := cell.NewMachine(mc)
+	s := NewSession(m, cfg)
+	s.Attach()
+	m.RunMain(main)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := traceio.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Truncated {
+		t.Fatal("fresh trace reported truncated")
+	}
+	return f, s
+}
+
+// allRecords decodes every chunk of f.
+func allRecords(t *testing.T, f *traceio.File) []event.Record {
+	t.Helper()
+	var out []event.Record
+	for _, c := range f.Chunks {
+		recs, trunc, err := traceio.DecodeChunk(c)
+		if err != nil || trunc {
+			t.Fatalf("decode chunk core %d: err=%v trunc=%v", c.Core, err, trunc)
+		}
+		out = append(out, recs...)
+	}
+	return out
+}
+
+func countByID(recs []event.Record) map[event.ID]int {
+	m := map[event.ID]int{}
+	for _, r := range recs {
+		m[r.ID]++
+	}
+	return m
+}
+
+func TestEndToEndTraceCapture(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.Workload = "e2e"
+	cfg.Params = map[string]string{"n": "4"}
+	f, s := traceRun(t, cfg, nil, func(h cell.Host) {
+		src := h.Alloc(1024, 16)
+		hd := h.Run(2, "worker", func(spu cell.SPU) uint32 {
+			spu.Get(0, src, 1024, 1)
+			spu.WaitTagAll(1 << 1)
+			spu.Compute(500)
+			spu.WriteOutMbox(99)
+			return 7
+		})
+		if v := h.ReadOutMbox(2); v != 99 {
+			t.Errorf("mbox = %d", v)
+		}
+		if code := h.Wait(hd); code != 7 {
+			t.Errorf("exit = %d", code)
+		}
+	})
+	if f.Meta.Workload != "e2e" || len(f.Meta.Params) != 1 {
+		t.Fatalf("meta = %+v", f.Meta)
+	}
+	if len(f.Meta.Anchors) != 1 || f.Meta.Anchors[0].SPE != 2 || f.Meta.Anchors[0].Program != "worker" {
+		t.Fatalf("anchors = %+v", f.Meta.Anchors)
+	}
+	recs := allRecords(t, f)
+	n := countByID(recs)
+	for id, want := range map[event.ID]int{
+		event.SPEProgramStart:      1,
+		event.SPEProgramEnd:        1,
+		event.SPEMFCGet:            1,
+		event.SPEWaitTagEnter:      1,
+		event.SPEWaitTagExit:       1,
+		event.SPEWriteOutMboxEnter: 1,
+		event.SPEWriteOutMboxExit:  1,
+		event.PPESPEStart:          1,
+		event.PPEWaitEnter:         1,
+		event.PPEWaitExit:          1,
+		event.PPEReadOutMboxEnter:  1,
+		event.PPEReadOutMboxExit:   1,
+	} {
+		if n[id] != want {
+			t.Errorf("%v count = %d, want %d", id, n[id], want)
+		}
+	}
+	st := s.Stats()
+	if st.SPERecords == 0 || st.PPERecords == 0 || st.Flushes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped = %d", st.Dropped)
+	}
+}
+
+func TestProgramStartEndBracketEverything(t *testing.T) {
+	f, _ := traceRun(t, DefaultTraceConfig(), nil, func(h cell.Host) {
+		h.Wait(h.Run(0, "p", func(spu cell.SPU) uint32 {
+			spu.Compute(100)
+			spu.Get(0, 0, 64, 0)
+			spu.WaitTagAll(1)
+			return 0
+		}))
+	})
+	for _, c := range f.Chunks {
+		if c.Core == event.CorePPE {
+			continue
+		}
+		recs, _, err := traceio.DecodeChunk(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recs[0].ID != event.SPEProgramStart {
+			t.Fatalf("first SPE record = %v", recs[0].ID)
+		}
+		if recs[len(recs)-1].ID != event.SPEProgramEnd {
+			t.Fatalf("last SPE record = %v", recs[len(recs)-1].ID)
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Time < recs[i-1].Time {
+				t.Fatalf("SPE timestamps not monotonic at %d: %d < %d", i, recs[i].Time, recs[i-1].Time)
+			}
+		}
+	}
+}
+
+func TestGroupFilteringReducesTrace(t *testing.T) {
+	run := func(groups event.Group) int {
+		cfg := DefaultTraceConfig()
+		cfg.Groups = groups
+		f, _ := traceRun(t, cfg, nil, func(h cell.Host) {
+			hd := h.Run(0, "p", func(spu cell.SPU) uint32 {
+				for i := 0; i < 10; i++ {
+					spu.Get(0, 0, 64, 0)
+					spu.WaitTagAll(1)
+					spu.WriteOutMbox(uint32(i))
+				}
+				return 0
+			})
+			for i := 0; i < 10; i++ {
+				h.ReadOutMbox(0)
+			}
+			h.Wait(hd)
+		})
+		return len(allRecords(t, f))
+	}
+	all := run(event.GroupAll)
+	mfcOnly := run(event.GroupMFC)
+	lifecycleOnly := run(event.GroupLifecycle)
+	if !(lifecycleOnly < mfcOnly && mfcOnly < all) {
+		t.Fatalf("filtering not monotone: lifecycle=%d mfc=%d all=%d", lifecycleOnly, mfcOnly, all)
+	}
+	if lifecycleOnly < 2 {
+		t.Fatalf("lifecycle events missing: %d", lifecycleOnly)
+	}
+}
+
+func TestMultipleProgramsPerSPE(t *testing.T) {
+	f, _ := traceRun(t, DefaultTraceConfig(), nil, func(h cell.Host) {
+		for i := 0; i < 3; i++ {
+			h.Wait(h.Run(0, "gen", func(spu cell.SPU) uint32 {
+				spu.Compute(100)
+				return 0
+			}))
+		}
+	})
+	if len(f.Meta.Anchors) != 3 {
+		t.Fatalf("anchors = %d, want 3", len(f.Meta.Anchors))
+	}
+	spe := 0
+	for _, c := range f.Chunks {
+		if c.Core != event.CorePPE {
+			spe++
+			if int(c.AnchorIdx) >= len(f.Meta.Anchors) {
+				t.Fatalf("chunk anchor %d out of range", c.AnchorIdx)
+			}
+		}
+	}
+	if spe != 3 {
+		t.Fatalf("SPE chunks = %d, want 3", spe)
+	}
+}
+
+func TestBufferFlushingSmallBuffer(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.SPEBufferSize = 512 // force many flushes
+	cfg.DoubleBuffered = false
+	f, s := traceRun(t, cfg, nil, func(h cell.Host) {
+		h.Wait(h.Run(0, "spin", func(spu cell.SPU) uint32 {
+			for i := 0; i < 200; i++ {
+				spu.Get(0, 0, 64, 0)
+				spu.WaitTagAll(1)
+			}
+			return 0
+		}))
+	})
+	st := s.Stats()
+	if st.Flushes < 10 {
+		t.Fatalf("flushes = %d, want many with a 512B buffer", st.Flushes)
+	}
+	recs := allRecords(t, f)
+	n := countByID(recs)
+	if n[event.SPEMFCGet] != 200 {
+		t.Fatalf("GET records = %d, want 200 (no loss)", n[event.SPEMFCGet])
+	}
+	if n[event.SPETraceFlush] == 0 {
+		t.Fatal("no flush overhead records")
+	}
+}
+
+func TestDoubleBufferedFlushCheaper(t *testing.T) {
+	run := func(db bool) uint64 {
+		cfg := DefaultTraceConfig()
+		cfg.SPEBufferSize = 1024
+		cfg.DoubleBuffered = db
+		_, s := traceRun(t, cfg, nil, func(h cell.Host) {
+			h.Wait(h.Run(0, "spin", func(spu cell.SPU) uint32 {
+				for i := 0; i < 300; i++ {
+					spu.Get(0, 0, 64, 0)
+					spu.WaitTagAll(1)
+					spu.Compute(2000) // give async flushes time to complete
+				}
+				return 0
+			}))
+		})
+		return s.Stats().FlushCycles
+	}
+	single := run(false)
+	double := run(true)
+	if double >= single {
+		t.Fatalf("double-buffered flush cycles (%d) not below single (%d)", double, single)
+	}
+}
+
+func TestDropsWhenMainRegionFull(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.SPEBufferSize = 512
+	cfg.DoubleBuffered = false
+	cfg.MainBufferPerSPE = 1024 // tiny: fills after ~2 flushes
+	_, s := traceRun(t, cfg, nil, func(h cell.Host) {
+		h.Wait(h.Run(0, "noisy", func(spu cell.SPU) uint32 {
+			for i := 0; i < 500; i++ {
+				spu.Get(0, 0, 64, 0)
+				spu.WaitTagAll(1)
+			}
+			return 0
+		}))
+	})
+	st := s.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("no drops despite tiny main region")
+	}
+}
+
+func TestDropsRecordedInMeta(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.SPEBufferSize = 512
+	cfg.DoubleBuffered = false
+	cfg.MainBufferPerSPE = 1024
+	f, _ := traceRun(t, cfg, nil, func(h cell.Host) {
+		h.Wait(h.Run(0, "noisy", func(spu cell.SPU) uint32 {
+			for i := 0; i < 500; i++ {
+				spu.Get(0, 0, 64, 0)
+				spu.WaitTagAll(1)
+			}
+			return 0
+		}))
+	})
+	if len(f.Meta.Drops) != 1 || f.Meta.Drops[0].Count == 0 {
+		t.Fatalf("meta drops = %+v", f.Meta.Drops)
+	}
+}
+
+func TestStringInterning(t *testing.T) {
+	f, _ := traceRun(t, DefaultTraceConfig(), nil, func(h cell.Host) {
+		for i := 0; i < 2; i++ {
+			h.Wait(h.Run(0, "same-name", func(spu cell.SPU) uint32 { return 0 }))
+		}
+	})
+	recs := allRecords(t, f)
+	defs := 0
+	for _, r := range recs {
+		if r.ID == event.StringDef && r.Str == "same-name" {
+			defs++
+		}
+	}
+	if defs != 1 {
+		t.Fatalf("StringDef for repeated name = %d, want 1 (interned)", defs)
+	}
+}
+
+func TestUserEventsAndLogs(t *testing.T) {
+	f, _ := traceRun(t, DefaultTraceConfig(), nil, func(h cell.Host) {
+		HostUser(h, 1, 10, 20)
+		HostUserLog(h, "host phase")
+		h.Wait(h.Run(0, "u", func(spu cell.SPU) uint32 {
+			User(spu, 42, 1, 2)
+			UserLog(spu, "spu phase")
+			return 0
+		}))
+	})
+	recs := allRecords(t, f)
+	n := countByID(recs)
+	if n[event.SPEUserEvent] != 1 || n[event.SPEUserLog] != 1 ||
+		n[event.PPEUserEvent] != 1 || n[event.PPEUserLog] != 1 {
+		t.Fatalf("user events = %+v", n)
+	}
+	for _, r := range recs {
+		if r.ID == event.SPEUserLog && r.Str != "spu phase" {
+			t.Fatalf("SPE log = %q", r.Str)
+		}
+	}
+}
+
+func TestUserHelpersNoopUntraced(t *testing.T) {
+	mc := cell.DefaultConfig()
+	mc.MemSize = 4 * cell.MiB
+	m := cell.NewMachine(mc)
+	m.RunMain(func(h cell.Host) {
+		HostUser(h, 1, 2, 3) // must not panic
+		HostUserLog(h, "x")
+		h.Wait(h.Run(0, "plain", func(spu cell.SPU) uint32 {
+			User(spu, 1, 2, 3)
+			UserLog(spu, "y")
+			return 0
+		}))
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracingCostsCycles(t *testing.T) {
+	run := func(traced bool) uint64 {
+		mc := cell.DefaultConfig()
+		mc.MemSize = 8 * cell.MiB
+		m := cell.NewMachine(mc)
+		if traced {
+			s := NewSession(m, DefaultTraceConfig())
+			s.Attach()
+		}
+		m.RunMain(func(h cell.Host) {
+			h.Wait(h.Run(0, "w", func(spu cell.SPU) uint32 {
+				for i := 0; i < 100; i++ {
+					spu.Get(0, 0, 128, 0)
+					spu.WaitTagAll(1)
+				}
+				return 0
+			}))
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Now()
+	}
+	plain := run(false)
+	traced := run(true)
+	if traced <= plain {
+		t.Fatalf("traced run (%d) not slower than plain (%d)", traced, plain)
+	}
+}
+
+func TestAppLSLimit(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	var limit int
+	traceRun(t, cfg, nil, func(h cell.Host) {
+		h.Wait(h.Run(0, "ls", func(spu cell.SPU) uint32 {
+			if ts, ok := spu.(*TracedSPU); ok {
+				limit = ts.AppLSLimit()
+			}
+			return 0
+		}))
+	})
+	want := 256*cell.KiB - cfg.SPEBufferSize
+	if limit != want {
+		t.Fatalf("AppLSLimit = %d, want %d", limit, want)
+	}
+}
+
+func TestDetachStopsTracing(t *testing.T) {
+	mc := cell.DefaultConfig()
+	mc.MemSize = 8 * cell.MiB
+	m := cell.NewMachine(mc)
+	s := NewSession(m, DefaultTraceConfig())
+	s.Attach()
+	s.Detach()
+	m.RunMain(func(h cell.Host) {
+		h.Wait(h.Run(0, "x", func(spu cell.SPU) uint32 { return 0 }))
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.SPERecords != 0 || st.PPERecords != 0 {
+		t.Fatalf("detached session recorded: %+v", st)
+	}
+}
+
+func TestSessionRejectsOversizeBuffer(t *testing.T) {
+	mc := cell.DefaultConfig()
+	m := cell.NewMachine(mc)
+	cfg := DefaultTraceConfig()
+	cfg.SPEBufferSize = 128 * cell.KiB // half the LS
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize buffer accepted")
+		}
+	}()
+	NewSession(m, cfg)
+}
+
+func TestWriteTraceWhileRunningFails(t *testing.T) {
+	mc := cell.DefaultConfig()
+	mc.MemSize = 8 * cell.MiB
+	m := cell.NewMachine(mc)
+	s := NewSession(m, DefaultTraceConfig())
+	s.Attach()
+	m.RunMain(func(h cell.Host) {
+		h.Run(0, "forever", func(spu cell.SPU) uint32 {
+			spu.Compute(1000)
+			// Try to serialize mid-run: the run is not finished.
+			var buf bytes.Buffer
+			if err := s.WriteTrace(&buf); err == nil {
+				t.Error("WriteTrace succeeded with a running program")
+			}
+			return 0
+		})
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

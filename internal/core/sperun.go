@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/core/traceio"
+)
+
+// maxFlushDMA is the largest single transfer a buffer flush issues (the
+// architectural MFC limit).
+const maxFlushDMA = 16 * 1024
+
+// speRun is the tracing state of one SPE program execution: a record
+// buffer resident in the top of the simulated local store, flushed to a
+// per-run main-memory region by real simulated DMA, exactly as the paper's
+// PDT flushed its local-store buffer. The flush DMA and the cycles spent
+// waiting for it are the tracing perturbation the paper measures.
+type speRun struct {
+	s    *Session
+	u    cell.SPU
+	spe  int
+	name string
+
+	anchorIdx    uint16
+	decrLoaded   uint32
+	regionEA     uint64
+	regionSize   int
+	regionUsed   int
+	lsBase       int // buffer base offset in local store
+	halfSize     int // buffer (or half-buffer) size
+	half         int // active half: 0 or 1 (always 0 when single-buffered)
+	used         int // bytes used in the active half
+	recsInHalf   uint64
+	recsInRegion uint64  // records flushed since the last wrap
+	inFlight     [2]bool // a flush DMA for this half is outstanding
+	finished     bool
+	stoppedFull  bool // main region exhausted; drop further records
+}
+
+// newSPERun allocates the main-memory region, records the clock anchor,
+// and prepares the local-store buffer.
+func (s *Session) newSPERun(u cell.SPU, name string) *speRun {
+	spe := u.Index()
+	tb, loaded := s.m.SPE(spe).DecrAnchor()
+	run := &speRun{
+		s:          s,
+		u:          u,
+		spe:        spe,
+		name:       name,
+		anchorIdx:  uint16(len(s.anchors)),
+		decrLoaded: loaded,
+		regionEA:   s.m.Alloc(s.cfg.MainBufferPerSPE, 128),
+		regionSize: s.cfg.MainBufferPerSPE,
+		lsBase:     len(u.LS()) - s.cfg.SPEBufferSize,
+		halfSize:   s.cfg.SPEBufferSize,
+	}
+	if s.cfg.DoubleBuffered {
+		run.halfSize = s.cfg.SPEBufferSize / 2
+	}
+	s.anchors = append(s.anchors, traceio.Anchor{
+		SPE: spe, Timebase: tb, Loaded: loaded, Program: name,
+	})
+	s.runs = append(s.runs, run)
+	return run
+}
+
+// elapsed returns the decrementer ticks elapsed since the anchor.
+func (r *speRun) elapsed() uint64 {
+	return uint64(r.decrLoaded - r.u.ReadDecr())
+}
+
+// halfBase returns the local-store offset of the given half.
+func (r *speRun) halfBase(half int) int { return r.lsBase + half*r.halfSize }
+
+// emit records one event if its type is enabled, charging the
+// instrumentation cost and flushing when the buffer fills.
+func (r *speRun) emit(rec event.Record) {
+	if r.finished {
+		panic(fmt.Sprintf("core: SPE %d emitted %s after program end", r.spe, rec.ID))
+	}
+	if !r.s.cfg.EventOn(rec.ID) {
+		return
+	}
+	if !r.s.inWindow(r.u.Now()) {
+		return
+	}
+	r.u.Compute(r.s.cfg.SPEEventCost)
+	if r.stoppedFull {
+		r.s.drops[r.spe]++
+		return
+	}
+	rec.Core = uint8(r.spe)
+	rec.Flags |= event.FlagDecrTime
+	rec.Time = r.elapsed()
+	size := rec.EncodedSize()
+	if r.used+size > r.halfSize {
+		r.flush(false)
+		if r.stoppedFull {
+			r.s.drops[r.spe]++
+			return
+		}
+	}
+	if size > r.halfSize {
+		panic("core: record larger than the SPE trace buffer half")
+	}
+	ls := r.u.LS()
+	base := r.halfBase(r.half)
+	buf, err := rec.AppendTo(ls[base+r.used : base+r.used : base+r.halfSize])
+	if err != nil {
+		panic(fmt.Sprintf("core: SPE record encode: %v", err))
+	}
+	r.used += len(buf)
+	r.recsInHalf++
+	r.s.speEvents++
+}
+
+// flushTag returns the MFC tag reserved for flushes of the given half.
+func (r *speRun) flushTag(half int) int {
+	if half == 0 {
+		return r.s.cfg.FlushTagA
+	}
+	return r.s.cfg.FlushTagB
+}
+
+// flush DMAs the active half to the main-memory region. Single-buffered
+// mode waits for the DMA; double-buffered mode issues it asynchronously
+// and only waits when the target half is still in flight from last time.
+// final forces a synchronous drain of everything outstanding.
+func (r *speRun) flush(final bool) {
+	start := r.u.Now()
+	if r.used > 0 {
+		// Pad to a legal DMA length (multiple of 16); zero bytes are
+		// skipped by the chunk decoder.
+		padded := (r.used + 15) / 16 * 16
+		ls := r.u.LS()
+		base := r.halfBase(r.half)
+		for i := r.used; i < padded; i++ {
+			ls[base+i] = 0
+		}
+		if r.regionUsed+padded > r.regionSize && r.s.cfg.WrapMain {
+			// Wrap mode: restart the region, keeping only the records
+			// written from here on (the most recent window). Everything
+			// flushed before the wrap is discarded and counted.
+			// A flush for the other half may still target the old
+			// region tail; drain it before reusing the space.
+			for h := 0; h < 2; h++ {
+				if r.inFlight[h] {
+					r.u.WaitTagAll(1 << uint(r.flushTag(h)))
+					r.inFlight[h] = false
+				}
+			}
+			r.s.drops[r.spe] += r.recsInRegion
+			r.recsInRegion = 0
+			r.regionUsed = 0
+		}
+		if r.regionUsed+padded > r.regionSize {
+			// Main region exhausted: drop this bufferful.
+			r.s.drops[r.spe] += r.recsInHalf
+			r.stoppedFull = true
+			r.used = 0
+			r.recsInHalf = 0
+		} else {
+			// A flush can exceed the 16 KiB architectural DMA limit
+			// (large trace buffers): split it into maximal transfers on
+			// the same tag.
+			for off := 0; off < padded; off += maxFlushDMA {
+				sz := padded - off
+				if sz > maxFlushDMA {
+					sz = maxFlushDMA
+				}
+				r.u.Put(base+off, r.regionEA+uint64(r.regionUsed+off), sz, r.flushTag(r.half))
+			}
+			r.regionUsed += padded
+			r.inFlight[r.half] = true
+			r.s.flushes++
+			r.s.flushBytes += uint64(padded)
+			r.recsInRegion += r.recsInHalf
+			flushedBytes := r.used
+			r.used = 0
+			r.recsInHalf = 0
+			if r.s.cfg.DoubleBuffered && !final {
+				// Switch halves; wait only if the next half's previous
+				// flush has not completed.
+				r.half = 1 - r.half
+				if r.inFlight[r.half] {
+					r.u.WaitTagAll(1 << uint(r.flushTag(r.half)))
+					r.inFlight[r.half] = false
+				}
+			} else {
+				r.u.WaitTagAll(1 << uint(r.flushTag(r.half)))
+				r.inFlight[r.half] = false
+			}
+			if !final {
+				cycles := r.u.Now() - start
+				r.s.flushCycles += cycles
+				// Record PDT's own overhead (into the fresh buffer), as
+				// the paper's tool does. Skipped on the final drain:
+				// there is no later flush to carry the record out.
+				r.emit(event.Record{
+					ID:   event.SPETraceFlush,
+					Args: []uint64{uint64(flushedBytes), cycles},
+				})
+			}
+		}
+	}
+	if final {
+		// Drain any outstanding flush on the other half too.
+		for h := 0; h < 2; h++ {
+			if r.inFlight[h] {
+				r.u.WaitTagAll(1 << uint(r.flushTag(h)))
+				r.inFlight[h] = false
+			}
+		}
+		r.s.flushCycles += r.u.Now() - start
+	}
+}

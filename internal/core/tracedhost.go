@@ -1,0 +1,169 @@
+package core
+
+import (
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// TracedHost is the instrumented PPE runtime (the model's instrumented
+// libspe2). It implements cell.Host and records GroupHost events into the
+// session's host buffer.
+type TracedHost struct {
+	u    cell.Host
+	s    *Session
+	core uint8 // this thread's record core (CorePPE, CorePPE-1, ...)
+}
+
+var _ cell.Host = (*TracedHost)(nil)
+
+// Unwrap returns the raw Host.
+func (t *TracedHost) Unwrap() cell.Host { return t.u }
+
+func (t *TracedHost) NumSPEs() int                 { return t.u.NumSPEs() }
+func (t *TracedHost) Machine() *cell.Machine       { return t.u.Machine() }
+func (t *TracedHost) Mem() []byte                  { return t.u.Mem() }
+func (t *TracedHost) Alloc(size, align int) uint64 { return t.u.Alloc(size, align) }
+func (t *TracedHost) Now() uint64                  { return t.u.Now() }
+func (t *TracedHost) Timebase() uint64             { return t.u.Timebase() }
+func (t *TracedHost) Compute(cycles uint64)        { t.u.Compute(cycles) }
+
+func (t *TracedHost) Run(spe int, name string, prog cell.SPUProgram) *cell.SPEHandle {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPESPEStart,
+		Args: []uint64{uint64(spe), t.s.intern(name)}})
+	return t.u.Run(spe, name, prog)
+}
+
+func (t *TracedHost) Wait(h *cell.SPEHandle) uint32 {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEWaitEnter,
+		Args: []uint64{uint64(h.SPE().Index())}})
+	code := t.u.Wait(h)
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEWaitExit,
+		Args: []uint64{uint64(h.SPE().Index()), uint64(code)}})
+	return code
+}
+
+func (t *TracedHost) WriteInMbox(spe int, v uint32) {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEWriteInMboxEnter,
+		Args: []uint64{uint64(spe), uint64(v)}})
+	t.u.WriteInMbox(spe, v)
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEWriteInMboxExit,
+		Args: []uint64{uint64(spe), uint64(v)}})
+}
+
+func (t *TracedHost) TryWriteInMbox(spe int, v uint32) bool {
+	return t.u.TryWriteInMbox(spe, v)
+}
+
+func (t *TracedHost) ReadOutMbox(spe int) uint32 {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEReadOutMboxEnter,
+		Args: []uint64{uint64(spe)}})
+	v := t.u.ReadOutMbox(spe)
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEReadOutMboxExit,
+		Args: []uint64{uint64(spe), uint64(v)}})
+	return v
+}
+
+func (t *TracedHost) TryReadOutMbox(spe int) (uint32, bool) {
+	return t.u.TryReadOutMbox(spe)
+}
+
+func (t *TracedHost) ReadOutIntrMbox(spe int) uint32 {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEReadIntrMboxEnter,
+		Args: []uint64{uint64(spe)}})
+	v := t.u.ReadOutIntrMbox(spe)
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEReadIntrMboxExit,
+		Args: []uint64{uint64(spe), uint64(v)}})
+	return v
+}
+
+func (t *TracedHost) WriteSignal1(spe int, v uint32) {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEWriteSignal,
+		Args: []uint64{uint64(spe), 1, uint64(v)}})
+	t.u.WriteSignal1(spe, v)
+}
+
+func (t *TracedHost) WriteSignal2(spe int, v uint32) {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEWriteSignal,
+		Args: []uint64{uint64(spe), 2, uint64(v)}})
+	t.u.WriteSignal2(spe, v)
+}
+
+func (t *TracedHost) DMAGet(spe int, lsOff int, ea uint64, size int, tag int) {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEDMAGet,
+		Args: []uint64{uint64(spe), uint64(lsOff), ea, uint64(size), uint64(tag)}})
+	t.u.DMAGet(spe, lsOff, ea, size, tag)
+}
+
+func (t *TracedHost) DMAPut(spe int, lsOff int, ea uint64, size int, tag int) {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEDMAPut,
+		Args: []uint64{uint64(spe), uint64(lsOff), ea, uint64(size), uint64(tag)}})
+	t.u.DMAPut(spe, lsOff, ea, size, tag)
+}
+
+func (t *TracedHost) DMAWaitTagAll(spe int, mask uint32) {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEWaitTagEnter,
+		Args: []uint64{uint64(spe), uint64(mask)}})
+	t.u.DMAWaitTagAll(spe, mask)
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEWaitTagExit,
+		Args: []uint64{uint64(spe), uint64(mask)}})
+}
+
+func (t *TracedHost) AtomicCAS(ea uint64, old, new uint64) bool {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEAtomicEnter, Args: []uint64{atomicOpCAS, ea}})
+	ok := t.u.AtomicCAS(ea, old, new)
+	var res uint64
+	if ok {
+		res = 1
+	}
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEAtomicExit, Args: []uint64{atomicOpCAS, res}})
+	return ok
+}
+
+func (t *TracedHost) AtomicAdd(ea uint64, delta uint64) uint64 {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEAtomicEnter, Args: []uint64{atomicOpAdd, ea}})
+	v := t.u.AtomicAdd(ea, delta)
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEAtomicExit, Args: []uint64{atomicOpAdd, v}})
+	return v
+}
+
+func (t *TracedHost) Spawn(name string, fn func(h cell.Host)) { t.u.Spawn(name, fn) }
+
+// UserEvent records an application-defined PPE point event.
+func (t *TracedHost) UserEvent(id uint32, a0, a1 uint64) {
+	t.s.emitPPE(t.u, t.core, event.Record{ID: event.PPEUserEvent, Args: []uint64{uint64(id), a0, a1}})
+}
+
+// UserLog records an application-defined PPE string annotation.
+func (t *TracedHost) UserLog(msg string) {
+	if len(msg) > event.MaxStrLen {
+		msg = msg[:event.MaxStrLen]
+	}
+	if !t.s.cfg.EventOn(event.PPEUserLog) {
+		return
+	}
+	t.u.Compute(t.s.cfg.PPEEventCost)
+	t.s.appendPPE(event.Record{
+		ID: event.PPEUserLog, Core: t.core, Flags: event.FlagHasStr,
+		Time: t.s.m.Timebase(), Str: msg,
+	})
+}
+
+// HostUserTracer is probed by the HostUser helpers.
+type HostUserTracer interface {
+	UserEvent(id uint32, a0, a1 uint64)
+	UserLog(msg string)
+}
+
+// HostUser records an application event if h is traced; no-op otherwise.
+func HostUser(h cell.Host, id uint32, a0, a1 uint64) {
+	if t, ok := h.(HostUserTracer); ok {
+		t.UserEvent(id, a0, a1)
+	}
+}
+
+// HostUserLog records a string annotation if h is traced.
+func HostUserLog(h cell.Host, msg string) {
+	if t, ok := h.(HostUserTracer); ok {
+		t.UserLog(msg)
+	}
+}

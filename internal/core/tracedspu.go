@@ -1,0 +1,215 @@
+package core
+
+import (
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// TracedSPU is the instrumented SPU runtime: every call is forwarded to
+// the raw SPU after (or around) recording the corresponding PDT events,
+// exactly as the paper's instrumented SPE libraries wrapped the spu_mfcio
+// intrinsics. It implements cell.SPU, so workloads run unchanged.
+type TracedSPU struct {
+	u   cell.SPU
+	run *speRun
+}
+
+var _ cell.SPU = (*TracedSPU)(nil)
+
+// Unwrap returns the raw SPU (tests use it).
+func (t *TracedSPU) Unwrap() cell.SPU { return t.u }
+
+func (t *TracedSPU) Index() int  { return t.u.Index() }
+func (t *TracedSPU) Now() uint64 { return t.u.Now() }
+
+// LS exposes the local store; the top Config.SPEBufferSize bytes belong to
+// the tracer and must not be touched by the application.
+func (t *TracedSPU) LS() []byte { return t.u.LS() }
+
+// AppLSLimit returns the number of local-store bytes available to the
+// application (everything below the trace buffer).
+func (t *TracedSPU) AppLSLimit() int { return t.run.lsBase }
+
+func (t *TracedSPU) finish(exitCode uint32) {
+	t.run.emit(event.Record{ID: event.SPEProgramEnd, Args: []uint64{uint64(exitCode)}})
+	t.run.flush(true)
+	t.run.finished = true
+}
+
+func (t *TracedSPU) Get(lsOff int, ea uint64, size int, tag int) {
+	t.run.emit(event.Record{ID: event.SPEMFCGet,
+		Args: []uint64{uint64(lsOff), ea, uint64(size), uint64(tag)}})
+	t.u.Get(lsOff, ea, size, tag)
+}
+
+func (t *TracedSPU) Put(lsOff int, ea uint64, size int, tag int) {
+	t.run.emit(event.Record{ID: event.SPEMFCPut,
+		Args: []uint64{uint64(lsOff), ea, uint64(size), uint64(tag)}})
+	t.u.Put(lsOff, ea, size, tag)
+}
+
+func listTotal(list []cell.ListElem) uint64 {
+	var n uint64
+	for _, el := range list {
+		n += uint64(el.Size)
+	}
+	return n
+}
+
+func (t *TracedSPU) GetList(lsOff int, list []cell.ListElem, tag int) {
+	t.run.emit(event.Record{ID: event.SPEMFCGetList,
+		Args: []uint64{uint64(lsOff), uint64(len(list)), listTotal(list), uint64(tag)}})
+	t.u.GetList(lsOff, list, tag)
+}
+
+func (t *TracedSPU) PutList(lsOff int, list []cell.ListElem, tag int) {
+	t.run.emit(event.Record{ID: event.SPEMFCPutList,
+		Args: []uint64{uint64(lsOff), uint64(len(list)), listTotal(list), uint64(tag)}})
+	t.u.PutList(lsOff, list, tag)
+}
+
+func (t *TracedSPU) WaitTagAll(mask uint32) {
+	t.run.emit(event.Record{ID: event.SPEWaitTagEnter, Args: []uint64{uint64(mask)}})
+	t.u.WaitTagAll(mask)
+	t.run.emit(event.Record{ID: event.SPEWaitTagExit, Args: []uint64{uint64(mask), uint64(mask)}})
+}
+
+func (t *TracedSPU) WaitTagAny(mask uint32) uint32 {
+	t.run.emit(event.Record{ID: event.SPEWaitTagEnter, Args: []uint64{uint64(mask)}})
+	done := t.u.WaitTagAny(mask)
+	t.run.emit(event.Record{ID: event.SPEWaitTagExit, Args: []uint64{uint64(mask), uint64(done)}})
+	return done
+}
+
+func (t *TracedSPU) TagStatus(mask uint32) uint32 { return t.u.TagStatus(mask) }
+
+func (t *TracedSPU) ReadInMbox() uint32 {
+	t.run.emit(event.Record{ID: event.SPEReadInMboxEnter})
+	v := t.u.ReadInMbox()
+	t.run.emit(event.Record{ID: event.SPEReadInMboxExit, Args: []uint64{uint64(v)}})
+	return v
+}
+
+func (t *TracedSPU) TryReadInMbox() (uint32, bool) {
+	// Polling reads are not evented (they would flood the trace); the
+	// paper's PDT likewise traces the blocking entry points.
+	return t.u.TryReadInMbox()
+}
+
+func (t *TracedSPU) InMboxCount() int { return t.u.InMboxCount() }
+
+func (t *TracedSPU) WriteOutMbox(v uint32) {
+	t.run.emit(event.Record{ID: event.SPEWriteOutMboxEnter, Args: []uint64{uint64(v)}})
+	t.u.WriteOutMbox(v)
+	t.run.emit(event.Record{ID: event.SPEWriteOutMboxExit, Args: []uint64{uint64(v)}})
+}
+
+func (t *TracedSPU) TryWriteOutMbox(v uint32) bool { return t.u.TryWriteOutMbox(v) }
+
+func (t *TracedSPU) WriteOutIntrMbox(v uint32) {
+	t.run.emit(event.Record{ID: event.SPEWriteIntrMboxEnter, Args: []uint64{uint64(v)}})
+	t.u.WriteOutIntrMbox(v)
+	t.run.emit(event.Record{ID: event.SPEWriteIntrMboxExit, Args: []uint64{uint64(v)}})
+}
+
+func (t *TracedSPU) ReadSignal1() uint32 { return t.readSignal(1) }
+func (t *TracedSPU) ReadSignal2() uint32 { return t.readSignal(2) }
+
+func (t *TracedSPU) readSignal(reg int) uint32 {
+	t.run.emit(event.Record{ID: event.SPEReadSignalEnter, Args: []uint64{uint64(reg)}})
+	var v uint32
+	if reg == 1 {
+		v = t.u.ReadSignal1()
+	} else {
+		v = t.u.ReadSignal2()
+	}
+	t.run.emit(event.Record{ID: event.SPEReadSignalExit, Args: []uint64{uint64(reg), uint64(v)}})
+	return v
+}
+
+func (t *TracedSPU) Sndsig(spe int, reg int, v uint32, tag int) {
+	t.run.emit(event.Record{ID: event.SPESndsig,
+		Args: []uint64{uint64(spe), uint64(reg), uint64(v)}})
+	t.u.Sndsig(spe, reg, v, tag)
+}
+
+func (t *TracedSPU) ReadDecr() uint32 { return t.u.ReadDecr() }
+
+func (t *TracedSPU) Compute(cycles uint64) { t.u.Compute(cycles) }
+
+// Atomic op codes recorded in SPE_ATOMIC_* events.
+const (
+	atomicOpCAS = 0
+	atomicOpAdd = 1
+)
+
+func (t *TracedSPU) AtomicCAS(ea uint64, old, new uint64) bool {
+	t.run.emit(event.Record{ID: event.SPEAtomicEnter, Args: []uint64{atomicOpCAS, ea}})
+	ok := t.u.AtomicCAS(ea, old, new)
+	var res uint64
+	if ok {
+		res = 1
+	}
+	t.run.emit(event.Record{ID: event.SPEAtomicExit, Args: []uint64{atomicOpCAS, res}})
+	return ok
+}
+
+func (t *TracedSPU) AtomicAdd(ea uint64, delta uint64) uint64 {
+	t.run.emit(event.Record{ID: event.SPEAtomicEnter, Args: []uint64{atomicOpAdd, ea}})
+	v := t.u.AtomicAdd(ea, delta)
+	t.run.emit(event.Record{ID: event.SPEAtomicExit, Args: []uint64{atomicOpAdd, v}})
+	return v
+}
+
+// UserEvent records an application-defined point event (the PDT user-event
+// API). Untraced runs reach the no-op path through the core.User helper.
+func (t *TracedSPU) UserEvent(id uint32, a0, a1 uint64) {
+	t.run.emit(event.Record{ID: event.SPEUserEvent, Args: []uint64{uint64(id), a0, a1}})
+}
+
+// UserLog records an application-defined string annotation.
+func (t *TracedSPU) UserLog(msg string) {
+	if len(msg) > event.MaxStrLen {
+		msg = msg[:event.MaxStrLen]
+	}
+	t.run.emit(event.Record{ID: event.SPEUserLog, Flags: event.FlagHasStr, Str: msg})
+}
+
+// SyncEvent records a synchronization-library event (used by cellsync).
+func (t *TracedSPU) SyncEvent(id event.ID, args ...uint64) {
+	t.run.emit(event.Record{ID: id, Args: args})
+}
+
+// SPUUserTracer is the optional interface workloads probe (via the User
+// helpers) to record application events.
+type SPUUserTracer interface {
+	UserEvent(id uint32, a0, a1 uint64)
+	UserLog(msg string)
+}
+
+// SPUSyncTracer is probed by the cellsync library.
+type SPUSyncTracer interface {
+	SyncEvent(id event.ID, args ...uint64)
+}
+
+// User records an application event if spu is traced; otherwise it is a
+// no-op, like PDT's compiled-out user macros.
+func User(spu cell.SPU, id uint32, a0, a1 uint64) {
+	if t, ok := spu.(SPUUserTracer); ok {
+		t.UserEvent(id, a0, a1)
+	}
+}
+
+// UserLog records a string annotation if spu is traced.
+func UserLog(spu cell.SPU, msg string) {
+	if t, ok := spu.(SPUUserTracer); ok {
+		t.UserLog(msg)
+	}
+}
+
+// Sync records a sync-library event if spu is traced.
+func Sync(spu cell.SPU, id event.ID, args ...uint64) {
+	if t, ok := spu.(SPUSyncTracer); ok {
+		t.SyncEvent(id, args...)
+	}
+}

@@ -1,0 +1,111 @@
+package traceio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// buildValid produces a structurally valid trace for mutation testing.
+func buildValid(t *testing.T) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	w, err := NewWriter(&out, Header{Version: Version, NumSPEs: 8, TimebaseDiv: 40, ClockHz: 3_200_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMeta(&Meta{
+		Workload: "fuzz",
+		Anchors:  []Anchor{{SPE: 0, Timebase: 100, Loaded: 0xFFFFFFFF, Program: "p"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var data []byte
+	for i := 0; i < 40; i++ {
+		r := event.Record{ID: event.SPEMFCGet, Core: 0, Flags: event.FlagDecrTime,
+			Time: uint64(i * 10), Args: []uint64{0, 64, 128, uint64(i % 16)}}
+		data, err = r.AppendTo(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteChunk(Chunk{Core: 0, AnchorIdx: 0, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestParseNeverPanicsOnMutations flips random bytes and truncates at
+// random offsets: Parse and DecodeChunk must return errors or truncation
+// flags, never panic.
+func TestParseNeverPanicsOnMutations(t *testing.T) {
+	valid := buildValid(t)
+	rng := rand.New(rand.NewSource(1))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 3000; trial++ {
+		data := append([]byte(nil), valid...)
+		// 1-4 random byte flips.
+		for f := 0; f < 1+rng.Intn(4); f++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		// Random truncation half the time.
+		if rng.Intn(2) == 0 {
+			data = data[:rng.Intn(len(data)+1)]
+		}
+		f, err := Parse(data)
+		if err != nil {
+			continue
+		}
+		for _, c := range f.Chunks {
+			_, _, _ = DecodeChunk(c)
+		}
+	}
+}
+
+// TestParseNeverPanicsOnGarbage feeds fully random buffers.
+func TestParseNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("parser panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 2000; trial++ {
+		data := make([]byte, rng.Intn(512))
+		rng.Read(data)
+		if trial%4 == 0 && len(data) >= 4 {
+			copy(data, Magic) // force past the magic check sometimes
+		}
+		f, err := Parse(data)
+		if err != nil {
+			continue
+		}
+		for _, c := range f.Chunks {
+			_, _, _ = DecodeChunk(c)
+		}
+	}
+}
+
+// TestDecodeRecordNeverPanics fuzzes the record decoder directly.
+func TestDecodeRecordNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("decoder panicked: %v", r)
+		}
+	}()
+	for trial := 0; trial < 5000; trial++ {
+		data := make([]byte, rng.Intn(64))
+		rng.Read(data)
+		_, _, _ = event.Decode(data)
+	}
+}

@@ -1,0 +1,271 @@
+// Package traceio implements the PDT trace file format: a fixed header, an
+// XML metadata blob (session parameters, clock-correlation anchors, drop
+// accounting), a sequence of record chunks (one per core buffer flush
+// region), and a CRC32 footer. Readers tolerate a truncated tail — a trace
+// from a crashed run decodes up to the damage and is flagged Truncated.
+package traceio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// File format constants.
+const (
+	Magic       = "PDT1"
+	FooterMagic = "PDTE"
+	ChunkMagic  = 0xC5
+	Version     = 1
+)
+
+// NoAnchor marks chunks (PPE buffers) whose timestamps are absolute
+// timebase ticks and need no decrementer correlation.
+const NoAnchor = 0xFFFF
+
+// Header is the fixed-size file prologue.
+type Header struct {
+	Version     uint16
+	NumSPEs     uint8
+	TimebaseDiv uint64 // processor cycles per timebase tick
+	ClockHz     uint64 // nominal processor frequency (reporting only)
+}
+
+// Anchor is one clock-correlation record: at PPE timebase tick Timebase,
+// SPE program Program started on SPE with the decrementer loaded to
+// Loaded. SPE record times are elapsed decrementer ticks since this point.
+type Anchor struct {
+	SPE      int    `xml:"spe,attr"`
+	Timebase uint64 `xml:"timebase,attr"`
+	Loaded   uint32 `xml:"loaded,attr"`
+	Program  string `xml:"program,attr"`
+}
+
+// Drop accounts records lost on one SPE when its main-memory trace region
+// filled.
+type Drop struct {
+	SPE   int    `xml:"spe,attr"`
+	Count uint64 `xml:"count,attr"`
+}
+
+// Param is one workload or session parameter recorded for reproducibility.
+type Param struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// Meta is the XML metadata blob.
+type Meta struct {
+	XMLName  xml.Name `xml:"pdtmeta"`
+	Workload string   `xml:"workload,attr"`
+	Groups   string   `xml:"groups,attr"` // enabled group names, for reporting
+	// SPEEventCost/PPEEventCost record the configured per-record
+	// instrumentation cost in cycles, letting the analyzer compensate
+	// measurements for tracing overhead.
+	SPEEventCost uint64   `xml:"speEventCost,attr"`
+	PPEEventCost uint64   `xml:"ppeEventCost,attr"`
+	Anchors      []Anchor `xml:"anchor"`
+	Drops        []Drop   `xml:"drop"`
+	Params       []Param  `xml:"param"`
+}
+
+// Chunk is one contiguous run of encoded records from a single core.
+type Chunk struct {
+	Core      uint8  // SPE index or event.CorePPE
+	AnchorIdx uint16 // index into Meta.Anchors, or NoAnchor
+	Data      []byte // encoded records
+}
+
+// Writer emits a trace file.
+type Writer struct {
+	w      io.Writer
+	crc    uint32
+	closed bool
+	err    error
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	tw := &Writer{w: w}
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	b := buf.Bytes()
+	b = binary.LittleEndian.AppendUint16(b, h.Version)
+	b = append(b, h.NumSPEs)
+	b = binary.LittleEndian.AppendUint64(b, h.TimebaseDiv)
+	b = binary.LittleEndian.AppendUint64(b, h.ClockHz)
+	if err := tw.write(b); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+func (w *Writer) write(b []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, b)
+	_, w.err = w.w.Write(b)
+	return w.err
+}
+
+// WriteMeta writes the metadata blob; call exactly once, before chunks.
+func (w *Writer) WriteMeta(m *Meta) error {
+	data, err := xml.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("traceio: marshal metadata: %w", err)
+	}
+	b := binary.LittleEndian.AppendUint32(nil, uint32(len(data)))
+	b = append(b, data...)
+	return w.write(b)
+}
+
+// WriteChunk writes one record chunk.
+func (w *Writer) WriteChunk(c Chunk) error {
+	b := []byte{ChunkMagic, c.Core}
+	b = binary.LittleEndian.AppendUint16(b, c.AnchorIdx)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Data)))
+	if err := w.write(b); err != nil {
+		return err
+	}
+	return w.write(c.Data)
+}
+
+// Close writes the footer (magic + CRC32 of everything before it).
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	crc := w.crc // CRC covers header..chunks, not the footer itself
+	b := append([]byte(FooterMagic), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(b[4:], crc)
+	return w.write(b)
+}
+
+// File is a fully parsed trace.
+type File struct {
+	Header Header
+	Meta   Meta
+	Chunks []Chunk
+	// Truncated marks a file whose tail was cut off (crashed run); the
+	// decoded prefix is still valid.
+	Truncated bool
+}
+
+// ErrBadMagic marks a file that is not a PDT trace at all.
+var ErrBadMagic = errors.New("traceio: bad magic (not a PDT trace)")
+
+// ErrCRC marks a structurally complete file whose checksum does not match.
+var ErrCRC = errors.New("traceio: CRC mismatch")
+
+// Read parses a whole trace file.
+func Read(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse parses a trace from memory.
+func Parse(data []byte) (*File, error) {
+	const headerLen = 4 + 2 + 1 + 8 + 8
+	if len(data) < headerLen || string(data[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	f := &File{}
+	f.Header.Version = binary.LittleEndian.Uint16(data[4:6])
+	if f.Header.Version != Version {
+		return nil, fmt.Errorf("traceio: unsupported version %d", f.Header.Version)
+	}
+	f.Header.NumSPEs = data[6]
+	f.Header.TimebaseDiv = binary.LittleEndian.Uint64(data[7:15])
+	f.Header.ClockHz = binary.LittleEndian.Uint64(data[15:23])
+	off := headerLen
+
+	// Metadata blob.
+	if off+4 > len(data) {
+		f.Truncated = true
+		return f, nil
+	}
+	mlen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	off += 4
+	if off+mlen > len(data) {
+		f.Truncated = true
+		return f, nil
+	}
+	if err := xml.Unmarshal(data[off:off+mlen], &f.Meta); err != nil {
+		return nil, fmt.Errorf("traceio: metadata: %w", err)
+	}
+	off += mlen
+
+	// Chunks until footer or truncation.
+	for off < len(data) {
+		if data[off] == FooterMagic[0] {
+			if len(data)-off < 8 || string(data[off:off+4]) != FooterMagic {
+				f.Truncated = true
+				return f, nil
+			}
+			want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+			got := crc32.ChecksumIEEE(data[:off])
+			if got != want {
+				return nil, fmt.Errorf("%w: got %#x want %#x", ErrCRC, got, want)
+			}
+			return f, nil
+		}
+		if data[off] != ChunkMagic {
+			return nil, fmt.Errorf("traceio: bad chunk magic %#x at offset %d", data[off], off)
+		}
+		if len(data)-off < 8 {
+			f.Truncated = true
+			return f, nil
+		}
+		core := data[off+1]
+		anchorIdx := binary.LittleEndian.Uint16(data[off+2 : off+4])
+		clen := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+		off += 8
+		if off+clen > len(data) {
+			f.Truncated = true
+			return f, nil
+		}
+		f.Chunks = append(f.Chunks, Chunk{
+			Core:      core,
+			AnchorIdx: anchorIdx,
+			Data:      data[off : off+clen],
+		})
+		off += clen
+	}
+	f.Truncated = true // ran out of bytes without seeing a footer
+	return f, nil
+}
+
+// DecodeChunk decodes every record in one chunk. A truncated final record
+// ends decoding cleanly with truncated=true; structural corruption returns
+// an error alongside the records decoded so far.
+func DecodeChunk(c Chunk) (recs []event.Record, truncated bool, err error) {
+	data := c.Data
+	for len(data) > 0 {
+		if data[0] == 0 {
+			// DMA-alignment padding between buffer flushes.
+			data = data[1:]
+			continue
+		}
+		r, n, derr := event.Decode(data)
+		if derr != nil {
+			if errors.Is(derr, event.ErrShortRecord) {
+				return recs, true, nil
+			}
+			return recs, false, fmt.Errorf("traceio: core %d: %w", c.Core, derr)
+		}
+		recs = append(recs, r)
+		data = data[n:]
+	}
+	return recs, false, nil
+}

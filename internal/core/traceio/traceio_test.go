@@ -1,0 +1,287 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+func sampleHeader() Header {
+	return Header{Version: Version, NumSPEs: 8, TimebaseDiv: 40, ClockHz: 3_200_000_000}
+}
+
+func sampleMeta() *Meta {
+	return &Meta{
+		Workload: "matmul",
+		Groups:   "mfc|mailbox",
+		Anchors: []Anchor{
+			{SPE: 0, Timebase: 1000, Loaded: 0xFFFFFFFF, Program: "mm"},
+			{SPE: 1, Timebase: 1010, Loaded: 0xFFFFFFFF, Program: "mm"},
+		},
+		Drops:  []Drop{{SPE: 1, Count: 3}},
+		Params: []Param{{Name: "n", Value: "512"}},
+	}
+}
+
+func encodeRecords(t *testing.T, recs ...event.Record) []byte {
+	t.Helper()
+	var buf []byte
+	for i := range recs {
+		var err error
+		buf, err = recs[i].AppendTo(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func writeSample(t *testing.T) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	w, err := NewWriter(&out, sampleHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMeta(sampleMeta()); err != nil {
+		t.Fatal(err)
+	}
+	spe0 := encodeRecords(t,
+		event.Record{ID: event.SPEProgramStart, Core: 0, Flags: event.FlagDecrTime, Time: 0, Args: []uint64{1}},
+		event.Record{ID: event.SPEMFCGet, Core: 0, Flags: event.FlagDecrTime, Time: 5, Args: []uint64{0, 64, 128, 1}},
+		event.Record{ID: event.SPEProgramEnd, Core: 0, Flags: event.FlagDecrTime, Time: 50, Args: []uint64{0}},
+	)
+	ppe := encodeRecords(t,
+		event.Record{ID: event.PPESPEStart, Core: event.CorePPE, Time: 990, Args: []uint64{0, 1}},
+	)
+	if err := w.WriteChunk(Chunk{Core: 0, AnchorIdx: 0, Data: spe0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteChunk(Chunk{Core: event.CorePPE, AnchorIdx: NoAnchor, Data: ppe}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	data := writeSample(t)
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Truncated {
+		t.Fatal("complete file reported truncated")
+	}
+	if f.Header != sampleHeader() {
+		t.Fatalf("header = %+v", f.Header)
+	}
+	if f.Meta.Workload != "matmul" || len(f.Meta.Anchors) != 2 || f.Meta.Anchors[1].SPE != 1 {
+		t.Fatalf("meta = %+v", f.Meta)
+	}
+	if len(f.Meta.Drops) != 1 || f.Meta.Drops[0].Count != 3 {
+		t.Fatalf("drops = %+v", f.Meta.Drops)
+	}
+	if len(f.Chunks) != 2 {
+		t.Fatalf("chunks = %d", len(f.Chunks))
+	}
+	recs, trunc, err := DecodeChunk(f.Chunks[0])
+	if err != nil || trunc {
+		t.Fatalf("decode chunk0: %v trunc=%v", err, trunc)
+	}
+	if len(recs) != 3 || recs[1].ID != event.SPEMFCGet {
+		t.Fatalf("chunk0 records: %+v", recs)
+	}
+	if f.Chunks[1].AnchorIdx != NoAnchor || f.Chunks[1].Core != event.CorePPE {
+		t.Fatalf("ppe chunk meta wrong: %+v", f.Chunks[1])
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("not a trace at all")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := Parse(nil); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseRejectsBadVersion(t *testing.T) {
+	data := writeSample(t)
+	data[4] = 99
+	if _, err := Parse(data); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestParseDetectsCRCCorruption(t *testing.T) {
+	data := writeSample(t)
+	// Flip a byte inside the first chunk's records.
+	data[len(data)-20] ^= 0xFF
+	_, err := Parse(data)
+	if err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestParseToleratesTruncation(t *testing.T) {
+	data := writeSample(t)
+	for _, cut := range []int{len(data) - 4, len(data) - 9, len(data) - 30} {
+		f, err := Parse(data[:cut])
+		if err != nil {
+			// Cuts can land mid-structure in ways that look corrupt at
+			// the chunk layer; those are acceptable too, but a clean
+			// truncation flag is preferred. Mid-record cuts must not
+			// return ErrCRC.
+			if errors.Is(err, ErrCRC) {
+				t.Fatalf("cut %d: CRC error on truncated file", cut)
+			}
+			continue
+		}
+		if !f.Truncated {
+			t.Fatalf("cut %d: truncated file not flagged", cut)
+		}
+	}
+}
+
+func TestParseTruncatedMidMeta(t *testing.T) {
+	data := writeSample(t)
+	f, err := Parse(data[:26]) // header + partial metadata length
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Truncated {
+		t.Fatal("not flagged truncated")
+	}
+}
+
+func TestDecodeChunkTruncatedRecord(t *testing.T) {
+	full := encodeRecords(t,
+		event.Record{ID: event.SPEProgramEnd, Core: 0, Time: 1, Args: []uint64{0}},
+		event.Record{ID: event.SPEProgramEnd, Core: 0, Time: 2, Args: []uint64{0}},
+	)
+	recs, trunc, err := DecodeChunk(Chunk{Core: 0, Data: full[:len(full)-3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trunc || len(recs) != 1 {
+		t.Fatalf("trunc=%v recs=%d, want true,1", trunc, len(recs))
+	}
+}
+
+func TestDecodeChunkCorruptRecord(t *testing.T) {
+	full := encodeRecords(t, event.Record{ID: event.SPEProgramEnd, Core: 0, Time: 1, Args: []uint64{0}})
+	full[1], full[2] = 0xFF, 0x7F // unknown event id
+	_, _, err := DecodeChunk(Chunk{Core: 0, Data: full})
+	if err == nil {
+		t.Fatal("corrupt record decoded")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var out bytes.Buffer
+	w, err := NewWriter(&out, sampleHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMeta(&Meta{Workload: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(out.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Truncated || len(f.Chunks) != 0 {
+		t.Fatalf("empty trace parse wrong: trunc=%v chunks=%d", f.Truncated, len(f.Chunks))
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	var out bytes.Buffer
+	w, err := NewWriter(&out, sampleHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMeta(&Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := out.Len()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != n {
+		t.Fatal("second Close wrote more bytes")
+	}
+}
+
+// Property: any sequence of valid records written through the file layer
+// round-trips byte-exact.
+func TestFileRoundTripProperty(t *testing.T) {
+	ids := event.All()
+	f := func(seeds []uint64) bool {
+		var recs []event.Record
+		for i, s := range seeds {
+			info := ids[int(s%uint64(len(ids)))]
+			r := event.Record{ID: info.ID, Core: uint8(i % 8), Time: s}
+			x := s
+			for range info.Args {
+				x = x*2862933555777941757 + 3037000493
+				r.Args = append(r.Args, x)
+			}
+			recs = append(recs, r)
+		}
+		var data []byte
+		for i := range recs {
+			var err error
+			data, err = recs[i].AppendTo(data)
+			if err != nil {
+				return false
+			}
+		}
+		var out bytes.Buffer
+		w, err := NewWriter(&out, sampleHeader())
+		if err != nil {
+			return false
+		}
+		if err := w.WriteMeta(&Meta{Workload: "prop"}); err != nil {
+			return false
+		}
+		if err := w.WriteChunk(Chunk{Core: 0, AnchorIdx: 0, Data: data}); err != nil {
+			return false
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		file, err := Parse(out.Bytes())
+		if err != nil || file.Truncated {
+			return false
+		}
+		if len(recs) == 0 {
+			return len(file.Chunks) == 1 && len(file.Chunks[0].Data) == 0
+		}
+		got, trunc, err := DecodeChunk(file.Chunks[0])
+		if err != nil || trunc || len(got) != len(recs) {
+			return false
+		}
+		for i := range got {
+			if got[i].ID != recs[i].ID || got[i].Time != recs[i].Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+func TestTraceWindowRestrictsRecording(t *testing.T) {
+	prog := func(spu cell.SPU) uint32 {
+		for i := 0; i < 100; i++ {
+			spu.Compute(1000)
+			User(spu, uint32(i), 0, 0)
+		}
+		return 0
+	}
+	full, _ := traceRun(t, DefaultTraceConfig(), nil, func(h cell.Host) {
+		h.Wait(h.Run(0, "w", prog))
+	})
+	cfg := DefaultTraceConfig()
+	cfg.WindowStart = 30000
+	cfg.WindowEnd = 60000
+	windowed, s := traceRun(t, cfg, nil, func(h cell.Host) {
+		h.Wait(h.Run(0, "w", prog))
+	})
+	fullCount := len(allRecords(t, full))
+	winCount := len(allRecords(t, windowed))
+	if winCount >= fullCount/2 {
+		t.Fatalf("windowed trace has %d records vs full %d; window ineffective", winCount, fullCount)
+	}
+	if s.Stats().SPERecords == 0 {
+		t.Fatal("window recorded nothing")
+	}
+	// Only mid-run user events survive: ids near the start/end must be
+	// absent.
+	ids := map[uint64]bool{}
+	for _, r := range allRecords(t, windowed) {
+		if r.ID == event.SPEUserEvent {
+			ids[r.Args[0]] = true
+		}
+	}
+	if ids[0] || ids[99] {
+		t.Fatalf("boundary events recorded despite window: %v", ids)
+	}
+	if len(ids) == 0 {
+		t.Fatal("no user events inside the window")
+	}
+}
+
+func TestTraceWindowOpenEnded(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.WindowStart = 50000 // no end
+	_, s := traceRun(t, cfg, nil, func(h cell.Host) {
+		h.Wait(h.Run(0, "w", func(spu cell.SPU) uint32 {
+			User(spu, 1, 0, 0) // before the window
+			spu.Compute(100000)
+			User(spu, 2, 0, 0) // inside
+			return 0
+		}))
+	})
+	if s.Stats().SPERecords == 0 {
+		t.Fatal("open-ended window recorded nothing")
+	}
+}

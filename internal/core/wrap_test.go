@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+func TestWrapMainKeepsRecentRecords(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.SPEBufferSize = 512
+	cfg.DoubleBuffered = false
+	cfg.MainBufferPerSPE = 2048 // tiny: forces wraps
+	cfg.WrapMain = true
+	f, s := traceRun(t, cfg, nil, func(h cell.Host) {
+		h.Wait(h.Run(0, "wrap", func(spu cell.SPU) uint32 {
+			for i := 0; i < 400; i++ {
+				TracedUser(spu, uint32(i))
+			}
+			return 0
+		}))
+	})
+	st := s.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("wrap mode dropped nothing despite tiny region")
+	}
+	// The captured user events must be the LAST ones emitted.
+	var ids []uint64
+	for _, rec := range allRecords(t, f) {
+		if rec.ID == event.SPEUserEvent {
+			ids = append(ids, rec.Args[0])
+		}
+	}
+	if len(ids) == 0 {
+		t.Fatal("no user events survived the wrap")
+	}
+	if ids[len(ids)-1] != 399 {
+		t.Fatalf("last surviving event = %d, want 399 (recent window lost)", ids[len(ids)-1])
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1]+1 {
+			t.Fatalf("surviving events not contiguous: %d then %d", ids[i-1], ids[i])
+		}
+	}
+}
+
+func TestNoWrapKeepsEarliestRecords(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.SPEBufferSize = 512
+	cfg.DoubleBuffered = false
+	cfg.MainBufferPerSPE = 2048
+	cfg.WrapMain = false
+	f, s := traceRun(t, cfg, nil, func(h cell.Host) {
+		h.Wait(h.Run(0, "nowrap", func(spu cell.SPU) uint32 {
+			for i := 0; i < 400; i++ {
+				TracedUser(spu, uint32(i))
+			}
+			return 0
+		}))
+	})
+	if s.Stats().Dropped == 0 {
+		t.Fatal("no drops despite tiny region")
+	}
+	var first uint64 = 1 << 62
+	for _, rec := range allRecords(t, f) {
+		if rec.ID == event.SPEUserEvent && rec.Args[0] < first {
+			first = rec.Args[0]
+		}
+	}
+	if first != 0 {
+		t.Fatalf("earliest surviving event = %d, want 0 (head window lost)", first)
+	}
+}
+
+// TracedUser emits one user event (helper keeping the wrap tests terse).
+func TracedUser(spu cell.SPU, i uint32) {
+	User(spu, i, uint64(i), 0)
+	spu.Compute(100)
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// TestTracedWrappersFullSurface drives every instrumented API entry point
+// once, on both sides, and checks that exactly the expected event types
+// show up in the trace and that pass-through methods behave like the raw
+// ones.
+func TestTracedWrappersFullSurface(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	f, _ := traceRun(t, cfg, nil, func(h cell.Host) {
+		th, ok := h.(*TracedHost)
+		if !ok {
+			t.Fatal("host not wrapped")
+		}
+		if th.Unwrap() == nil || th.Machine() == nil || th.Mem() == nil {
+			t.Error("host accessors broken")
+		}
+		if th.NumSPEs() != 8 {
+			t.Errorf("NumSPEs = %d", th.NumSPEs())
+		}
+		_ = th.Timebase()
+		_ = th.Now()
+		th.Compute(10)
+
+		src := h.Alloc(1024, 128)
+		atomicEA := h.Alloc(8, 8)
+
+		spawned := false
+		h.Spawn("ppe:extra", func(h2 cell.Host) {
+			h2.Compute(5)
+			spawned = true
+		})
+
+		hd := h.Run(1, "surface", func(spu cell.SPU) uint32 {
+			ts, ok := spu.(*TracedSPU)
+			if !ok {
+				return 90
+			}
+			if ts.Unwrap() == nil || ts.Index() != 1 || len(ts.LS()) == 0 {
+				return 91
+			}
+			_ = ts.Now()
+			_ = ts.ReadDecr()
+
+			spu.Get(0, src, 256, 0)
+			spu.Put(0, src, 256, 1)
+			spu.GetList(1024, []cell.ListElem{{EA: src, Size: 64}, {EA: src + 128, Size: 64}}, 2)
+			spu.PutList(1024, []cell.ListElem{{EA: src + 256, Size: 64}}, 3)
+			if done := spu.WaitTagAny(0b1111); done == 0 {
+				return 92
+			}
+			spu.WaitTagAll(0b1111)
+			if spu.TagStatus(0b1111) != 0b1111 {
+				return 93
+			}
+
+			_ = spu.InMboxCount()
+			// The host's 77 may or may not have arrived yet; consume it
+			// through whichever path, exercising both.
+			if v, ok := spu.TryReadInMbox(); ok {
+				if v != 77 {
+					return 94
+				}
+			} else if spu.ReadInMbox() != 77 {
+				return 96
+			}
+			// Second value always consumed through the blocking path so
+			// its enter/exit events are recorded.
+			if spu.ReadInMbox() != 88 {
+				return 89
+			}
+			if !spu.TryWriteOutMbox(1) {
+				return 97
+			}
+			spu.WriteOutMbox(2) // blocks until host drains
+			spu.WriteOutIntrMbox(3)
+
+			if spu.ReadSignal1() == 0 {
+				return 98
+			}
+			if spu.ReadSignal2() == 0 {
+				return 99
+			}
+			spu.Sndsig(2, 1, 0xF0, 4)
+			spu.WaitTagAll(1 << 4)
+
+			if !spu.AtomicCAS(atomicEA, 0, 5) {
+				return 100
+			}
+			if spu.AtomicAdd(atomicEA, 2) != 7 {
+				return 101
+			}
+			spu.Compute(100)
+			User(spu, 1, 2, 3)
+			UserLog(spu, "done")
+			return 0
+		})
+
+		// Feed the SPE everything it blocks on.
+		if !h.TryWriteInMbox(1, 77) {
+			t.Error("TryWriteInMbox failed")
+		}
+		h.WriteInMbox(1, 88)
+		if v := h.ReadOutMbox(1); v != 1 {
+			t.Errorf("out mbox = %d", v)
+		}
+		if v, ok := h.TryReadOutMbox(1); !ok || v != 2 {
+			// The SPE may not have written yet; fall back to blocking.
+			if !ok {
+				if v := h.ReadOutMbox(1); v != 2 {
+					t.Errorf("second out mbox = %d", v)
+				}
+			} else {
+				t.Errorf("TryReadOutMbox = %d", v)
+			}
+		}
+		if v := h.ReadOutIntrMbox(1); v != 3 {
+			t.Errorf("intr mbox = %d", v)
+		}
+		h.WriteSignal1(1, 0x10)
+		h.WriteSignal2(1, 0x20)
+
+		// Proxy DMA against an idle SPE.
+		h.DMAGet(0, 0, src, 128, 7)
+		h.DMAPut(0, 0, src, 128, 7)
+		h.DMAWaitTagAll(0, 1<<7)
+
+		if !h.AtomicCAS(atomicEA+0, 7, 9) {
+			// SPE already advanced it; either way exercise both ops.
+			h.AtomicAdd(atomicEA, 0)
+		}
+		HostUser(h, 5, 6, 7)
+		HostUserLog(h, "host done")
+
+		if code := h.Wait(hd); code != 0 {
+			t.Errorf("SPE surface exit = %d", code)
+		}
+		if !spawned {
+			t.Error("spawned PPE thread did not run")
+		}
+	})
+
+	recs := allRecords(t, f)
+	got := countByID(recs)
+	for _, id := range []event.ID{
+		event.SPEMFCGet, event.SPEMFCPut, event.SPEMFCGetList, event.SPEMFCPutList,
+		event.SPEWaitTagEnter, event.SPEWaitTagExit,
+		event.SPEReadInMboxEnter, event.SPEReadInMboxExit,
+		event.SPEWriteOutMboxEnter, event.SPEWriteOutMboxExit,
+		event.SPEWriteIntrMboxEnter, event.SPEWriteIntrMboxExit,
+		event.SPEReadSignalEnter, event.SPEReadSignalExit,
+		event.SPESndsig, event.SPEAtomicEnter, event.SPEAtomicExit,
+		event.SPEUserEvent, event.SPEUserLog,
+		event.PPESPEStart, event.PPEWaitEnter, event.PPEWaitExit,
+		event.PPEReadOutMboxEnter, event.PPEReadOutMboxExit,
+		event.PPEReadIntrMboxEnter, event.PPEReadIntrMboxExit,
+		event.PPEWriteSignal, event.PPEDMAGet, event.PPEDMAPut,
+		event.PPEWaitTagEnter, event.PPEWaitTagExit,
+		event.PPEAtomicEnter, event.PPEAtomicExit,
+		event.PPEUserEvent, event.PPEUserLog,
+	} {
+		if got[id] == 0 {
+			t.Errorf("event %v never recorded", id)
+		}
+	}
+}
+
+func TestSessionAccessors(t *testing.T) {
+	mc := cell.DefaultConfig()
+	mc.MemSize = 8 * cell.MiB
+	m := cell.NewMachine(mc)
+	cfg := DefaultTraceConfig()
+	cfg.Workload = "acc"
+	s := NewSession(m, cfg)
+	if s.Config().Workload != "acc" {
+		t.Fatal("Config() wrong")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	mc := cell.DefaultConfig()
+	mc.MemSize = 8 * cell.MiB
+	m := cell.NewMachine(mc)
+	s := NewSession(m, DefaultTraceConfig())
+	s.Attach()
+	m.RunMain(func(h cell.Host) {
+		h.Wait(h.Run(0, "wf", func(spu cell.SPU) uint32 { return 0 }))
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/t.pdt"
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFile("/nonexistent-dir/t.pdt"); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}

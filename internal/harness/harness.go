@@ -1,0 +1,121 @@
+// Package harness orchestrates complete runs for the CLIs, examples and
+// benchmarks: build a machine, optionally attach a PDT session, prepare a
+// workload, simulate, verify, and collect the trace and its analysis.
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/workloads"
+)
+
+// Spec describes one run.
+type Spec struct {
+	Workload string
+	Params   map[string]string
+	// NumSPEs overrides the machine SPE count when positive.
+	NumSPEs int
+	// MemMiB sizes simulated memory (default 64).
+	MemMiB int
+	// MachineMut, when non-nil, adjusts the machine configuration after
+	// defaults and NumSPEs/MemMiB are applied (used by the machine-
+	// parameter ablation experiments).
+	MachineMut func(*cell.Config)
+	// Trace, when non-nil, attaches a PDT session with this config.
+	Trace *core.Config
+	// TracePath, when non-empty, also writes the trace file there.
+	TracePath string
+	// SkipVerify skips result verification (overhead sweeps that run
+	// many configurations use it to save host time, never correctness
+	// tests).
+	SkipVerify bool
+}
+
+// Result is what a run produced.
+type Result struct {
+	// Cycles is the simulated end time of the run.
+	Cycles uint64
+	// Machine is the finished machine (stats remain readable).
+	Machine *cell.Machine
+	// Stats holds tracing-side counters (zero value when untraced).
+	Stats core.Stats
+	// TraceBytes is the serialized trace (nil when untraced).
+	TraceBytes []byte
+	// Trace is the loaded trace (nil when untraced).
+	Trace *analyzer.Trace
+}
+
+// Run executes a spec.
+func Run(spec Spec) (*Result, error) {
+	w, err := workloads.New(spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Configure(spec.Params); err != nil {
+		return nil, err
+	}
+	mc := cell.DefaultConfig()
+	if spec.NumSPEs > 0 {
+		mc.NumSPEs = spec.NumSPEs
+	}
+	mc.MemSize = 64 * cell.MiB
+	if spec.MemMiB > 0 {
+		mc.MemSize = spec.MemMiB * cell.MiB
+	}
+	if spec.MachineMut != nil {
+		spec.MachineMut(&mc)
+	}
+	m := cell.NewMachine(mc)
+
+	var session *core.Session
+	if spec.Trace != nil {
+		cfg := *spec.Trace
+		cfg.Workload = spec.Workload
+		cfg.Params = w.Params()
+		session = core.NewSession(m, cfg)
+		session.Attach()
+	}
+	if err := w.Prepare(m); err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("harness: simulation: %w", err)
+	}
+	if !spec.SkipVerify {
+		if err := w.Verify(m); err != nil {
+			return nil, fmt.Errorf("harness: verification: %w", err)
+		}
+	}
+	res := &Result{Cycles: m.Now(), Machine: m}
+	if session != nil {
+		res.Stats = session.Stats()
+		var buf bytes.Buffer
+		if err := session.WriteTrace(&buf); err != nil {
+			return nil, err
+		}
+		res.TraceBytes = buf.Bytes()
+		if spec.TracePath != "" {
+			if err := session.WriteFile(spec.TracePath); err != nil {
+				return nil, err
+			}
+		}
+		tr, err := analyzer.Load(bytes.NewReader(res.TraceBytes))
+		if err != nil {
+			return nil, err
+		}
+		res.Trace = tr
+	}
+	return res, nil
+}
+
+// Overhead returns (traced-untraced)/untraced as a percentage.
+func Overhead(untraced, traced uint64) float64 {
+	if untraced == 0 {
+		return 0
+	}
+	return 100 * (float64(traced) - float64(untraced)) / float64(untraced)
+}

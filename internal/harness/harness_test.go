@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/core"
+)
+
+func TestRunUntraced(t *testing.T) {
+	res, err := Run(Spec{Workload: "julia", Params: map[string]string{"w": "64", "h": "32", "maxiter": "32"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Trace != nil || res.TraceBytes != nil {
+		t.Fatalf("untraced result wrong: %+v", res)
+	}
+}
+
+func TestRunTracedWithFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.pdt")
+	cfg := core.DefaultTraceConfig()
+	res, err := Run(Spec{
+		Workload:  "histogram",
+		Params:    map[string]string{"size": "65536"},
+		Trace:     &cfg,
+		TracePath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Stats.SPERecords == 0 {
+		t.Fatal("traced run missing trace")
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, res.TraceBytes) {
+		t.Fatal("file and in-memory trace differ")
+	}
+	if res.Trace.Meta.Workload != "histogram" {
+		t.Fatalf("meta workload = %q", res.Trace.Meta.Workload)
+	}
+	// Params recorded for reproducibility.
+	found := false
+	for _, p := range res.Trace.Meta.Params {
+		if p.Name == "size" && p.Value == "65536" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("params not recorded: %+v", res.Trace.Meta.Params)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Spec{Workload: "nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := Run(Spec{Workload: "matmul", Params: map[string]string{"n": "billion"}}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestRunNumSPEsOverride(t *testing.T) {
+	res, err := Run(Spec{
+		Workload: "julia",
+		Params:   map[string]string{"w": "64", "h": "32", "maxiter": "32"},
+		NumSPEs:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Machine.NumSPEs() != 2 {
+		t.Fatalf("SPEs = %d", res.Machine.NumSPEs())
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if v := Overhead(100, 110); v != 10 {
+		t.Fatalf("Overhead = %v", v)
+	}
+	if v := Overhead(0, 10); v != 0 {
+		t.Fatalf("Overhead zero-base = %v", v)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 13 {
+		t.Fatalf("experiments = %d", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("%s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("E5"); !ok {
+		t.Fatal("ByID(E5) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID(E99) succeeded")
+	}
+}
+
+// Run every experiment in quick mode and sanity-check the output shape.
+func TestAllExperimentsQuick(t *testing.T) {
+	want := map[string][]string{
+		"E1":  {"SPE_MFC_GET", "record bytes"},
+		"E2":  {"delta ns", "user event"},
+		"E3":  {"untraced", "all", "overhead"},
+		"E4":  {"single", "double", "flushes"},
+		"E5":  {"static", "dynamic", "imbalance"},
+		"E6":  {"dma-wait", "speedup"},
+		"E7":  {"stage", "sync-wait"},
+		"E8":  {"bytes/record", "records/ms"},
+		"E9":  {"gap cycles", "overhead"},
+		"E10": {"records/s", "load+merge"},
+		"E11": {"GB/s", "baseline"},
+		"E12": {"parties", "signal speedup"},
+		"E13": {"speedup", "julia"},
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, true); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			for _, needle := range want[e.ID] {
+				if !strings.Contains(out, needle) {
+					t.Fatalf("%s output missing %q:\n%s", e.ID, needle, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,274 @@
+// Package sim implements a deterministic, cooperatively scheduled
+// discrete-event simulation kernel.
+//
+// Model processes are ordinary Go functions run on goroutines, but the
+// engine guarantees that at most one process is runnable at any instant:
+// a process runs until it blocks on a kernel primitive (Delay, WaitQueue,
+// Queue, Resource, ...), at which point control returns to the engine,
+// which advances virtual time to the next scheduled wakeup. Ties in wakeup
+// time are broken by schedule order, so a given program produces exactly
+// the same event sequence on every run.
+//
+// Virtual time is measured in abstract ticks; the Cell model interprets
+// one tick as one 3.2 GHz processor cycle.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is returned by Run when processes are still alive but no
+// future wakeup is scheduled, i.e. every live process waits on a condition
+// nobody can signal.
+var ErrDeadlock = errors.New("sim: deadlock: live processes but no scheduled events")
+
+// ErrStopped is returned by Run when the simulation was halted by Stop.
+var ErrStopped = errors.New("sim: stopped")
+
+// panicAbort is the value used to unwind process goroutines when the
+// engine shuts down before they finish.
+type panicAbort struct{}
+
+// wakeup is a scheduled resumption of a process at a virtual time.
+type wakeup struct {
+	at   uint64
+	seq  uint64 // tie-breaker: schedule order
+	proc *Proc
+}
+
+type wakeupHeap []wakeup
+
+func (h wakeupHeap) Len() int { return len(h) }
+func (h wakeupHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h wakeupHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *wakeupHeap) Push(x interface{}) { *h = append(*h, x.(wakeup)) }
+func (h *wakeupHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine owns virtual time and the wakeup queue.
+//
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     uint64
+	seq     uint64
+	queue   wakeupHeap
+	live    int // processes spawned and not yet finished
+	nextID  int
+	procs   []*Proc // every spawned process, for shutdown
+	stopped bool    // Stop was called
+	current *Proc
+
+	// parked is signalled by a process when it has transferred control
+	// back to the engine (blocked, finished, or aborted).
+	parked chan struct{}
+
+	// panicVal carries a panic out of a process goroutine so Run can
+	// re-raise it on the caller's goroutine.
+	panicVal interface{}
+
+	// Trace, when non-nil, receives a line per scheduler action (debug).
+	Trace func(format string, args ...interface{})
+}
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time in ticks.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Stop halts the simulation: Run returns ErrStopped after the current
+// process blocks. Only meaningful from inside a process.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Proc is a simulation process. All kernel primitives that can block take
+// the Proc of the calling process; calling them from the wrong goroutine
+// corrupts the schedule, so processes must not leak their Proc to other
+// goroutines.
+type Proc struct {
+	eng    *Engine
+	id     int
+	name   string
+	wake   chan struct{}
+	done   bool
+	killed bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the spawn-order id of the process (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() uint64 { return p.eng.now }
+
+// Spawn creates a process that will first run at the current virtual time,
+// after all currently runnable work scheduled earlier. fn runs on its own
+// goroutine under the engine's cooperative regime.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt is Spawn with an explicit start time, which must be >= Now.
+func (e *Engine) SpawnAt(at uint64, name string, fn func(p *Proc)) *Proc {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: SpawnAt(%d) in the past (now %d)", at, e.now))
+	}
+	p := &Proc{eng: e, id: e.nextID, name: name, wake: make(chan struct{})}
+	e.nextID++
+	e.live++
+	e.procs = append(e.procs, p)
+	e.schedule(p, at)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(panicAbort); ok {
+					// Engine shut down; exit quietly.
+					e.parked <- struct{}{}
+					return
+				}
+				p.done = true
+				e.live--
+				// Re-panic on the engine side by stashing the value.
+				e.panicVal = r
+				e.parked <- struct{}{}
+				return
+			}
+		}()
+		<-p.wake // wait for first dispatch
+		if p.killed {
+			panic(panicAbort{})
+		}
+		fn(p)
+		p.done = true
+		e.live--
+		e.parked <- struct{}{}
+	}()
+	return p
+}
+
+// schedule enqueues a wakeup for p at time at.
+func (e *Engine) schedule(p *Proc, at uint64) {
+	e.seq++
+	heap.Push(&e.queue, wakeup{at: at, seq: e.seq, proc: p})
+}
+
+// dispatch resumes p and blocks until it parks again.
+func (e *Engine) dispatch(p *Proc) {
+	e.current = p
+	p.wake <- struct{}{}
+	<-e.parked
+	e.current = nil
+	if e.panicVal != nil {
+		v := e.panicVal
+		e.panicVal = nil
+		panic(v)
+	}
+}
+
+// park transfers control from the calling process back to the engine and
+// blocks until the engine dispatches the process again.
+func (p *Proc) park() {
+	p.eng.parked <- struct{}{}
+	<-p.wake
+	if p.killed {
+		panic(panicAbort{})
+	}
+}
+
+// Delay advances the calling process's local time by d ticks.
+func (p *Proc) Delay(d uint64) {
+	e := p.eng
+	e.schedule(p, e.now+d)
+	p.park()
+}
+
+// Yield reschedules the calling process at the current time, after any
+// other work already scheduled for this instant.
+func (p *Proc) Yield() { p.Delay(0) }
+
+// Run drives the simulation until no wakeups remain. It returns nil when
+// all processes finished, ErrDeadlock when live processes remain but
+// nothing is scheduled, and ErrStopped if Stop was called.
+func (e *Engine) Run() error { return e.RunUntil(^uint64(0)) }
+
+// RunUntil drives the simulation until no wakeups remain or the next
+// wakeup would be at a time strictly greater than limit.
+func (e *Engine) RunUntil(limit uint64) error {
+	for len(e.queue) > 0 {
+		if e.stopped {
+			e.abortAll()
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.at > limit {
+			e.now = limit
+			return nil
+		}
+		heap.Pop(&e.queue)
+		if next.proc.done {
+			continue // stale wakeup for a finished process
+		}
+		if next.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = next.at
+		if e.Trace != nil {
+			e.Trace("t=%d dispatch %s", e.now, next.proc.name)
+		}
+		e.dispatch(next.proc)
+	}
+	if e.live > 0 {
+		n := e.live
+		stuck := e.stuckNames()
+		e.abortAll()
+		return fmt.Errorf("%w (%d live: %s)", ErrDeadlock, n, stuck)
+	}
+	return nil
+}
+
+// stuckNames lists the names of live processes, for deadlock diagnostics.
+func (e *Engine) stuckNames() string {
+	s := ""
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		if s != "" {
+			s += ", "
+		}
+		s += p.name
+	}
+	return s
+}
+
+// abortAll unwinds every live process goroutine, whether it is waiting in
+// the wakeup queue or parked on a wait queue.
+func (e *Engine) abortAll() {
+	e.queue = nil
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.killed = true
+		p.wake <- struct{}{}
+		<-e.parked
+	}
+}

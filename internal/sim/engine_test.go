@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(); err != nil {
+		t.Fatalf("empty Run: %v", err)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("Now = %d, want 0", e.Now())
+	}
+}
+
+func TestDelayAdvancesTime(t *testing.T) {
+	e := NewEngine()
+	var at uint64
+	e.Spawn("a", func(p *Proc) {
+		p.Delay(100)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 100 {
+		t.Fatalf("time after Delay(100) = %d, want 100", at)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("engine Now = %d, want 100", e.Now())
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var order []string
+		for _, n := range []string{"a", "b", "c"} {
+			name := n
+			e.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					order = append(order, name)
+					p.Delay(10)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	want := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, first[i], want[i], first)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		again := run()
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("nondeterministic schedule at trial %d index %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestTieBreakBySpawnThenScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	// Both wake at t=5; b scheduled second must run second.
+	e.Spawn("a", func(p *Proc) { p.Delay(5); order = append(order, 1) })
+	e.Spawn("b", func(p *Proc) { p.Delay(5); order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+func TestSpawnAtFuture(t *testing.T) {
+	e := NewEngine()
+	var at uint64
+	e.SpawnAt(50, "late", func(p *Proc) { at = p.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 50 {
+		t.Fatalf("late proc ran at %d, want 50", at)
+	}
+}
+
+func TestSpawnAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("a", func(p *Proc) {
+		p.Delay(10)
+		defer func() {
+			if recover() == nil {
+				t.Error("SpawnAt in the past did not panic")
+			}
+			// Re-park properly by finishing the process.
+		}()
+		e.SpawnAt(5, "bad", func(p *Proc) {})
+	})
+	_ = e.Run()
+}
+
+func TestNestedSpawn(t *testing.T) {
+	e := NewEngine()
+	var childAt uint64
+	e.Spawn("parent", func(p *Proc) {
+		p.Delay(7)
+		e.Spawn("child", func(c *Proc) {
+			c.Delay(3)
+			childAt = c.Now()
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 10 {
+		t.Fatalf("child finished at %d, want 10", childAt)
+	}
+}
+
+func TestRunUntilLimit(t *testing.T) {
+	e := NewEngine()
+	steps := 0
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Delay(10)
+			steps++
+		}
+	})
+	if err := e.RunUntil(55); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 5 {
+		t.Fatalf("steps at t<=55: %d, want 5", steps)
+	}
+	if e.Now() != 55 {
+		t.Fatalf("Now = %d, want 55", e.Now())
+	}
+	// Resume to completion.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 100 {
+		t.Fatalf("steps = %d, want 100", steps)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	q := NewWaitQueue(e)
+	e.Spawn("stuck", func(p *Proc) { q.Wait(p) })
+	err := e.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	e.Spawn("ticker", func(p *Proc) {
+		for {
+			p.Delay(1)
+			ticks++
+			if ticks == 5 {
+				e.Stop()
+			}
+		}
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("boom", func(p *Proc) {
+		p.Delay(1)
+		panic("boom payload")
+	})
+	defer func() {
+		r := recover()
+		if r != "boom payload" {
+			t.Fatalf("recovered %v, want boom payload", r)
+		}
+	}()
+	_ = e.Run()
+	t.Fatal("Run returned instead of panicking")
+}
+
+func TestYieldOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcIdentity(t *testing.T) {
+	e := NewEngine()
+	p0 := e.Spawn("first", func(p *Proc) {})
+	p1 := e.Spawn("second", func(p *Proc) {})
+	if p0.ID() != 0 || p1.ID() != 1 {
+		t.Fatalf("IDs = %d,%d want 0,1", p0.ID(), p1.ID())
+	}
+	if p0.Name() != "first" || p1.Name() != "second" {
+		t.Fatalf("names wrong: %q %q", p0.Name(), p1.Name())
+	}
+	if p0.Engine() != e {
+		t.Fatal("Engine() mismatch")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyProcessesStress(t *testing.T) {
+	e := NewEngine()
+	const n = 200
+	total := 0
+	for i := 0; i < n; i++ {
+		d := uint64(i % 13)
+		e.Spawn("w", func(p *Proc) {
+			for j := 0; j < 50; j++ {
+				p.Delay(d + 1)
+			}
+			total++
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Fatalf("finished %d, want %d", total, n)
+	}
+}

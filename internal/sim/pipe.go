@@ -1,0 +1,63 @@
+package sim
+
+import "math"
+
+// BandwidthServer models a store-and-forward transfer fabric with a fixed
+// number of parallel channels, each of a fixed bandwidth. A transfer holds
+// one channel for startup + ceil(bytes * cyclesPerByte) ticks; when all
+// channels are busy, transfers queue FIFO. It is used for the Cell EIB data
+// rings and the memory-interface controller.
+type BandwidthServer struct {
+	channels      *Resource
+	cyclesPerByte float64
+	startup       uint64
+
+	// accounting
+	totalBytes     uint64
+	totalTransfers uint64
+	busyCycles     uint64
+}
+
+// NewBandwidthServer creates a server with the given number of parallel
+// channels, per-channel bandwidth in bytes per tick, and fixed per-transfer
+// startup latency in ticks.
+func NewBandwidthServer(e *Engine, channels int, bytesPerCycle float64, startup uint64) *BandwidthServer {
+	if bytesPerCycle <= 0 {
+		panic("sim: BandwidthServer bytesPerCycle must be positive")
+	}
+	return &BandwidthServer{
+		channels:      NewResource(e, channels),
+		cyclesPerByte: 1 / bytesPerCycle,
+		startup:       startup,
+	}
+}
+
+// Duration returns the service time for a transfer of the given size,
+// excluding queueing.
+func (s *BandwidthServer) Duration(bytes int) uint64 {
+	if bytes < 0 {
+		panic("sim: negative transfer size")
+	}
+	return s.startup + uint64(math.Ceil(float64(bytes)*s.cyclesPerByte))
+}
+
+// Transfer performs a transfer of the given size on behalf of p: it queues
+// for a channel, holds it for the service time, and returns the total ticks
+// spent (queueing + service).
+func (s *BandwidthServer) Transfer(p *Proc, bytes int) uint64 {
+	start := p.Now()
+	s.channels.Acquire(p, 1)
+	d := s.Duration(bytes)
+	p.Delay(d)
+	s.channels.Release(1)
+	s.totalBytes += uint64(bytes)
+	s.totalTransfers++
+	s.busyCycles += d
+	return p.Now() - start
+}
+
+// Stats reports lifetime totals: bytes moved, transfer count, and busy
+// channel-cycles.
+func (s *BandwidthServer) Stats() (bytes, transfers, busyCycles uint64) {
+	return s.totalBytes, s.totalTransfers, s.busyCycles
+}

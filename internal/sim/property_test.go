@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any random mix of processes doing random delays and
+// queue/resource operations, the engine terminates, time is monotonic,
+// and the same seed reproduces the same final time.
+func TestRandomScheduleDeterminismProperty(t *testing.T) {
+	runOnce := func(seed int64) (uint64, bool) {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		q := NewQueue(e, 1+rng.Intn(4))
+		r := NewResource(e, 1+rng.Intn(3))
+		nProcs := 2 + rng.Intn(5)
+		nOps := 5 + rng.Intn(30)
+		// Producers and consumers are paired so queues always drain.
+		items := nOps * nProcs
+		e.Spawn("producer", func(p *Proc) {
+			for i := 0; i < items; i++ {
+				q.Put(p, uint64(i))
+				p.Delay(uint64(rng.Intn(50)))
+			}
+		})
+		e.Spawn("consumer", func(p *Proc) {
+			for i := 0; i < items; i++ {
+				q.Get(p)
+				p.Delay(uint64(rng.Intn(50)))
+			}
+		})
+		for i := 0; i < nProcs; i++ {
+			delays := make([]uint64, nOps)
+			for j := range delays {
+				delays[j] = uint64(rng.Intn(200))
+			}
+			e.Spawn("worker", func(p *Proc) {
+				for _, d := range delays {
+					r.Acquire(p, 1)
+					p.Delay(d)
+					r.Release(1)
+				}
+			})
+		}
+		var last uint64
+		ok := true
+		e.Trace = func(format string, args ...interface{}) {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+		}
+		if err := e.Run(); err != nil {
+			return 0, false
+		}
+		return e.Now(), ok
+	}
+	f := func(seed int64) bool {
+		t1, ok1 := runOnce(seed)
+		t2, ok2 := runOnce(seed)
+		return ok1 && ok2 && t1 == t2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: resource accounting never exceeds capacity and always drains
+// to zero.
+func TestResourceInvariantProperty(t *testing.T) {
+	f := func(seed int64, capRaw, procsRaw uint8) bool {
+		capacity := int(capRaw%4) + 1
+		procs := int(procsRaw%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		r := NewResource(e, capacity)
+		violated := false
+		for i := 0; i < procs; i++ {
+			n := 1 + rng.Intn(capacity)
+			hold := uint64(rng.Intn(100))
+			reps := 1 + rng.Intn(10)
+			e.Spawn("w", func(p *Proc) {
+				for j := 0; j < reps; j++ {
+					r.Acquire(p, n)
+					if r.InUse() > r.Capacity() {
+						violated = true
+					}
+					p.Delay(hold)
+					r.Release(n)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return !violated && r.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BandwidthServer conserves bytes and the busy time equals the
+// sum of service durations.
+func TestBandwidthServerAccountingProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		s := NewBandwidthServer(e, 1+rng.Intn(3), float64(1+rng.Intn(16)), uint64(rng.Intn(100)))
+		var wantBytes, wantBusy uint64
+		for i := 0; i < n; i++ {
+			sz := rng.Intn(10000)
+			wantBytes += uint64(sz)
+			wantBusy += s.Duration(sz)
+			size := sz
+			e.Spawn("t", func(p *Proc) { s.Transfer(p, size) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		bytes, transfers, busy := s.Stats()
+		return bytes == wantBytes && transfers == uint64(n) && busy == wantBusy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import "fmt"
+
+// WaitQueue is a FIFO list of blocked processes. It is the building block
+// for every higher-level primitive: a process calls Wait to park itself,
+// and another process calls Signal or Broadcast to schedule waiters at the
+// current virtual time, in FIFO order.
+type WaitQueue struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewWaitQueue returns an empty wait queue bound to e.
+func NewWaitQueue(e *Engine) *WaitQueue { return &WaitQueue{eng: e} }
+
+// Len reports the number of blocked processes.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Wait parks the calling process until a Signal/Broadcast reaches it.
+func (q *WaitQueue) Wait(p *Proc) {
+	if p.eng != q.eng {
+		panic("sim: WaitQueue used across engines")
+	}
+	q.waiters = append(q.waiters, p)
+	p.park()
+}
+
+// Signal schedules the oldest waiter (if any) at the current time and
+// reports whether a waiter was woken.
+func (q *WaitQueue) Signal() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	q.eng.schedule(p, q.eng.now)
+	return true
+}
+
+// Broadcast wakes all waiters (scheduled FIFO at the current time) and
+// returns how many were woken.
+func (q *WaitQueue) Broadcast() int {
+	n := len(q.waiters)
+	for _, p := range q.waiters {
+		q.eng.schedule(p, q.eng.now)
+	}
+	q.waiters = q.waiters[:0]
+	return n
+}
+
+// Resource is a counting resource with fixed capacity (e.g. MFC command
+// queue slots, EIB ring grants). Acquire blocks until n units are free;
+// units are granted in request order (no barging), which keeps schedules
+// deterministic and fair.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	q        *WaitQueue
+	pendingN []int // parallel to q.waiters: units each waiter wants
+}
+
+// NewResource returns a resource with the given capacity.
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: NewResource capacity must be positive")
+	}
+	return &Resource{eng: e, capacity: capacity, q: NewWaitQueue(e)}
+}
+
+// Capacity returns the total units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// TryAcquire acquires n units without blocking and reports success.
+// It fails (preserving FIFO fairness) if any process is already queued.
+func (r *Resource) TryAcquire(n int) bool {
+	if n > r.capacity {
+		panic(fmt.Sprintf("sim: TryAcquire(%d) exceeds capacity %d", n, r.capacity))
+	}
+	if r.q.Len() > 0 || r.inUse+n > r.capacity {
+		return false
+	}
+	r.inUse += n
+	return true
+}
+
+// Acquire blocks the calling process until n units are available. Grants
+// are strictly FIFO: a large request at the head blocks smaller requests
+// behind it (no barging), which keeps schedules deterministic.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n > r.capacity {
+		panic(fmt.Sprintf("sim: Acquire(%d) exceeds capacity %d", n, r.capacity))
+	}
+	if r.q.Len() == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	r.pendingN = append(r.pendingN, n)
+	r.q.Wait(p)
+	// Release accounted our units before waking us; nothing left to do.
+}
+
+// Release returns n units and grants queued requests that now fit, in FIFO
+// order. The grant is applied here, before the waiter runs, so capacity can
+// never be stolen by a process scheduled in between.
+func (r *Resource) Release(n int) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: Resource.Release below zero")
+	}
+	for len(r.pendingN) > 0 && r.inUse+r.pendingN[0] <= r.capacity {
+		r.inUse += r.pendingN[0]
+		r.pendingN = r.pendingN[1:]
+		r.q.Signal()
+	}
+}
+
+// Queue is a bounded FIFO of uint64 payloads with blocking Put/Get. It
+// models hardware mailboxes and token queues. Capacity 0 is rejected (a
+// rendezvous channel is not a hardware structure we need).
+type Queue struct {
+	eng      *Engine
+	capacity int
+	items    []uint64
+	notFull  *WaitQueue
+	notEmpty *WaitQueue
+}
+
+// NewQueue returns an empty queue with the given capacity (> 0).
+func NewQueue(e *Engine, capacity int) *Queue {
+	if capacity <= 0 {
+		panic("sim: NewQueue capacity must be positive")
+	}
+	return &Queue{
+		eng:      e,
+		capacity: capacity,
+		notFull:  NewWaitQueue(e),
+		notEmpty: NewWaitQueue(e),
+	}
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return q.capacity }
+
+// TryPut enqueues v if space is available and reports success.
+func (q *Queue) TryPut(v uint64) bool {
+	if len(q.items) >= q.capacity {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+	return true
+}
+
+// Put blocks the calling process until space is available, then enqueues v.
+func (q *Queue) Put(p *Proc, v uint64) {
+	for len(q.items) >= q.capacity {
+		q.notFull.Wait(p)
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+}
+
+// TryGet dequeues the oldest item if present.
+func (q *Queue) TryGet() (uint64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, true
+}
+
+// Get blocks the calling process until an item is available and returns it.
+func (q *Queue) Get(p *Proc) uint64 {
+	for len(q.items) == 0 {
+		q.notEmpty.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v
+}
+
+// Peek returns the oldest item without removing it.
+func (q *Queue) Peek() (uint64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0], true
+}
+
+// Event is a one-shot level-triggered flag: Wait returns immediately once
+// Set has been called; before that it blocks. Used for completion signals.
+type Event struct {
+	set bool
+	q   *WaitQueue
+}
+
+// NewEvent returns an unset event.
+func NewEvent(e *Engine) *Event { return &Event{q: NewWaitQueue(e)} }
+
+// IsSet reports whether the event fired.
+func (ev *Event) IsSet() bool { return ev.set }
+
+// Set fires the event and wakes all waiters. Idempotent.
+func (ev *Event) Set() {
+	if ev.set {
+		return
+	}
+	ev.set = true
+	ev.q.Broadcast()
+}
+
+// Wait blocks until the event is set.
+func (ev *Event) Wait(p *Proc) {
+	for !ev.set {
+		ev.q.Wait(p)
+	}
+}

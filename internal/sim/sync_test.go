@@ -1,0 +1,459 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWaitQueueSignalFIFO(t *testing.T) {
+	e := NewEngine()
+	q := NewWaitQueue(e)
+	var order []string
+	for _, n := range []string{"a", "b", "c"} {
+		name := n
+		e.Spawn(name, func(p *Proc) {
+			q.Wait(p)
+			order = append(order, name)
+		})
+	}
+	e.Spawn("signaller", func(p *Proc) {
+		p.Delay(10)
+		for q.Signal() {
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWaitQueueBroadcast(t *testing.T) {
+	e := NewEngine()
+	q := NewWaitQueue(e)
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("w", func(p *Proc) {
+			q.Wait(p)
+			woken++
+		})
+	}
+	e.Spawn("b", func(p *Proc) {
+		p.Delay(1)
+		if n := q.Broadcast(); n != 5 {
+			t.Errorf("Broadcast woke %d, want 5", n)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 5 {
+		t.Fatalf("woken = %d, want 5", woken)
+	}
+}
+
+func TestWaitQueueSignalEmpty(t *testing.T) {
+	e := NewEngine()
+	q := NewWaitQueue(e)
+	if q.Signal() {
+		t.Fatal("Signal on empty queue reported a wake")
+	}
+	if q.Broadcast() != 0 {
+		t.Fatal("Broadcast on empty queue woke someone")
+	}
+	if q.Len() != 0 {
+		t.Fatal("Len != 0")
+	}
+}
+
+func TestResourceBasicExclusion(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var order []string
+	for _, n := range []string{"a", "b"} {
+		name := n
+		e.Spawn(name, func(p *Proc) {
+			r.Acquire(p, 1)
+			order = append(order, name+"+")
+			p.Delay(10)
+			order = append(order, name+"-")
+			r.Release(1)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a+", "a-", "b+", "b-"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceFIFOGrantNoBarging(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	var order []string
+	// holder takes both units for a while.
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Delay(100)
+		r.Release(2)
+	})
+	// big queues first, asking both units.
+	e.Spawn("big", func(p *Proc) {
+		p.Delay(1)
+		r.Acquire(p, 2)
+		order = append(order, "big")
+		r.Release(2)
+	})
+	// small asks one unit after big; must NOT jump ahead.
+	e.Spawn("small", func(p *Proc) {
+		p.Delay(2)
+		r.Acquire(p, 1)
+		order = append(order, "small")
+		r.Release(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "big" || order[1] != "small" {
+		t.Fatalf("order = %v, want [big small]", order)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	if !r.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) on empty resource failed")
+	}
+	if r.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) over capacity succeeded")
+	}
+	r.Release(1)
+	if r.InUse() != 1 {
+		t.Fatalf("InUse = %d, want 1", r.InUse())
+	}
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) with free unit failed")
+	}
+	if r.Capacity() != 2 {
+		t.Fatalf("Capacity = %d", r.Capacity())
+	}
+}
+
+func TestResourceReleaseBelowZeroPanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release below zero did not panic")
+		}
+	}()
+	r.Release(1)
+}
+
+func TestResourceOverCapacityPanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TryAcquire over capacity did not panic")
+		}
+	}()
+	r.TryAcquire(2)
+}
+
+func TestResourceCounting(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 3)
+	maxInUse := 0
+	for i := 0; i < 10; i++ {
+		e.Spawn("w", func(p *Proc) {
+			r.Acquire(p, 1)
+			if r.InUse() > maxInUse {
+				maxInUse = r.InUse()
+			}
+			p.Delay(5)
+			r.Release(1)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInUse != 3 {
+		t.Fatalf("max concurrency = %d, want 3", maxInUse)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("leaked units: %d", r.InUse())
+	}
+}
+
+func TestQueuePutGetOrdering(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 4)
+	var got []uint64
+	e.Spawn("producer", func(p *Proc) {
+		for i := uint64(0); i < 10; i++ {
+			q.Put(p, i)
+			p.Delay(1)
+		}
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			got = append(got, q.Get(p))
+			p.Delay(3)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestQueueBlocksWhenFull(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 1)
+	var putDone uint64
+	e.Spawn("producer", func(p *Proc) {
+		q.Put(p, 1) // fits
+		q.Put(p, 2) // blocks until consumer drains
+		putDone = p.Now()
+	})
+	e.Spawn("consumer", func(p *Proc) {
+		p.Delay(100)
+		if v := q.Get(p); v != 1 {
+			t.Errorf("Get = %d, want 1", v)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if putDone != 100 {
+		t.Fatalf("second Put completed at %d, want 100", putDone)
+	}
+}
+
+func TestQueueBlocksWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 4)
+	var getDone uint64
+	e.Spawn("consumer", func(p *Proc) {
+		if v := q.Get(p); v != 42 {
+			t.Errorf("Get = %d, want 42", v)
+		}
+		getDone = p.Now()
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Delay(77)
+		q.Put(p, 42)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if getDone != 77 {
+		t.Fatalf("Get completed at %d, want 77", getDone)
+	}
+}
+
+func TestQueueTryOps(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 2)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty succeeded")
+	}
+	if !q.TryPut(7) || !q.TryPut(8) {
+		t.Fatal("TryPut failed with space available")
+	}
+	if q.TryPut(9) {
+		t.Fatal("TryPut on full succeeded")
+	}
+	if v, ok := q.Peek(); !ok || v != 7 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+	if v, ok := q.TryGet(); !ok || v != 7 {
+		t.Fatalf("TryGet = %d,%v", v, ok)
+	}
+	if q.Len() != 1 || q.Cap() != 2 {
+		t.Fatalf("Len/Cap = %d/%d", q.Len(), q.Cap())
+	}
+}
+
+func TestQueueZeroCapacityPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewQueue(0) did not panic")
+		}
+	}()
+	NewQueue(e, 0)
+}
+
+func TestEventSetBeforeWait(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	ev.Set()
+	ev.Set() // idempotent
+	var at uint64
+	e.Spawn("w", func(p *Proc) {
+		p.Delay(5)
+		ev.Wait(p) // returns immediately
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5 {
+		t.Fatalf("Wait on set event delayed: at=%d", at)
+	}
+	if !ev.IsSet() {
+		t.Fatal("IsSet = false")
+	}
+}
+
+func TestEventWaitThenSet(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	done := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			ev.Wait(p)
+			if p.Now() != 30 {
+				t.Errorf("woke at %d, want 30", p.Now())
+			}
+			done++
+		})
+	}
+	e.Spawn("setter", func(p *Proc) {
+		p.Delay(30)
+		ev.Set()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Fatalf("done = %d, want 3", done)
+	}
+}
+
+// Property: for any set of producer/consumer item counts, every produced
+// item is consumed exactly once and in order per producer.
+func TestQueueConservationProperty(t *testing.T) {
+	f := func(nItems uint8, capacity uint8) bool {
+		n := int(nItems%50) + 1
+		c := int(capacity%8) + 1
+		e := NewEngine()
+		q := NewQueue(e, c)
+		var got []uint64
+		e.Spawn("p", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				q.Put(p, uint64(i))
+			}
+		})
+		e.Spawn("c", func(p *Proc) {
+			for i := 0; i < n; i++ {
+				got = append(got, q.Get(p))
+			}
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthServerDuration(t *testing.T) {
+	e := NewEngine()
+	s := NewBandwidthServer(e, 1, 8, 100) // 8 B/cycle, 100 startup
+	if d := s.Duration(0); d != 100 {
+		t.Fatalf("Duration(0) = %d, want 100", d)
+	}
+	if d := s.Duration(16384); d != 100+2048 {
+		t.Fatalf("Duration(16K) = %d, want 2148", d)
+	}
+	if d := s.Duration(1); d != 101 {
+		t.Fatalf("Duration(1) = %d, want 101 (ceil)", d)
+	}
+}
+
+func TestBandwidthServerContention(t *testing.T) {
+	e := NewEngine()
+	s := NewBandwidthServer(e, 1, 1, 0) // 1 B/cycle, serial
+	var ends []uint64
+	for i := 0; i < 3; i++ {
+		e.Spawn("t", func(p *Proc) {
+			s.Transfer(p, 100)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{100, 200, 300}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	bytes, transfers, busy := s.Stats()
+	if bytes != 300 || transfers != 3 || busy != 300 {
+		t.Fatalf("stats = %d,%d,%d", bytes, transfers, busy)
+	}
+}
+
+func TestBandwidthServerParallelChannels(t *testing.T) {
+	e := NewEngine()
+	s := NewBandwidthServer(e, 2, 1, 0)
+	var ends []uint64
+	for i := 0; i < 4; i++ {
+		e.Spawn("t", func(p *Proc) {
+			s.Transfer(p, 100)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two channels: pairs complete at 100 and 200.
+	want := []uint64{100, 100, 200, 200}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestBandwidthServerNegativeSizePanics(t *testing.T) {
+	e := NewEngine()
+	s := NewBandwidthServer(e, 1, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	s.Duration(-1)
+}

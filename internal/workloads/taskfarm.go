@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/cellsync"
+)
+
+// TaskFarm is the self-scheduling task-farm pattern over a main-storage
+// message queue: the PPE publishes task descriptors (block index +
+// iteration weight) into an MPMC queue, SPE workers claim tasks, fetch the
+// block, hash it for the prescribed number of rounds, and push (task,
+// digest) results into a second queue the PPE drains. Unlike the Julia
+// work queue (a bare atomic counter), the farm moves real descriptors
+// both ways with no PPE-per-task mailbox traffic — the pattern the sync
+// substrate exists for.
+type TaskFarm struct {
+	Tasks      int
+	BlockBytes int
+	Seed       int
+
+	inEA     uint64
+	tasks    *cellsync.MsgQueue
+	results  *cellsync.MsgQueue
+	rounds   []uint32 // per-task hash rounds (skewed weights)
+	digests  map[uint32]uint32
+	expected map[uint32]uint32
+}
+
+// NewTaskFarm returns the default 64-task, 4 KiB-block farm.
+func NewTaskFarm() *TaskFarm { return &TaskFarm{Tasks: 64, BlockBytes: 4096, Seed: 51} }
+
+func (w *TaskFarm) Name() string { return "taskfarm" }
+
+func (w *TaskFarm) Description() string {
+	return "self-scheduling task farm over main-storage MPMC queues"
+}
+
+func (w *TaskFarm) Configure(params map[string]string) error {
+	if err := checkKnown(params, "tasks", "blockbytes", "seed"); err != nil {
+		return err
+	}
+	for key, dst := range map[string]*int{"tasks": &w.Tasks, "blockbytes": &w.BlockBytes, "seed": &w.Seed} {
+		if err := intParam(params, key, dst); err != nil {
+			return err
+		}
+	}
+	if w.Tasks <= 0 || w.Tasks >= 1<<16 {
+		return fmt.Errorf("taskfarm: tasks=%d out of range", w.Tasks)
+	}
+	if w.BlockBytes <= 0 || w.BlockBytes%16 != 0 || w.BlockBytes > cell.MaxDMASize {
+		return fmt.Errorf("taskfarm: blockbytes=%d must be a multiple of 16 within the DMA limit", w.BlockBytes)
+	}
+	return nil
+}
+
+func (w *TaskFarm) Params() map[string]string {
+	return map[string]string{
+		"tasks": fmt.Sprint(w.Tasks), "blockbytes": fmt.Sprint(w.BlockBytes), "seed": fmt.Sprint(w.Seed),
+	}
+}
+
+// fnvRounds hashes block for the given number of rounds (shared with the
+// host-side expected-result computation).
+func fnvRounds(block []byte, rounds uint32) uint32 {
+	h := uint32(2166136261)
+	for r := uint32(0); r < rounds; r++ {
+		for _, b := range block {
+			h = (h ^ uint32(b)) * 16777619
+		}
+	}
+	return h
+}
+
+// Task and result encoding in queue words.
+func packTask(id uint16, rounds uint32) uint64 { return uint64(id)<<32 | uint64(rounds) }
+func unpackTask(v uint64) (uint16, uint32)     { return uint16(v >> 32), uint32(v) }
+func packResult(id uint16, digest uint32) uint64 {
+	return uint64(id)<<32 | uint64(digest)
+}
+func unpackResult(v uint64) (uint16, uint32) { return uint16(v >> 32), uint32(v) }
+
+// poison tells a worker to exit.
+const poison = ^uint64(0)
+
+func (w *TaskFarm) Prepare(m *cell.Machine) error {
+	w.inEA = m.Alloc(w.Tasks*w.BlockBytes, 128)
+	lcg(m.Mem()[w.inEA:w.inEA+uint64(w.Tasks*w.BlockBytes)], uint32(w.Seed))
+	w.tasks = cellsync.NewMsgQueue(m, 1, 16)
+	w.results = cellsync.NewMsgQueue(m, 2, 16)
+	w.digests = map[uint32]uint32{}
+	w.expected = map[uint32]uint32{}
+	w.rounds = make([]uint32, w.Tasks)
+	x := uint32(w.Seed)
+	for t := 0; t < w.Tasks; t++ {
+		x = x*1664525 + 1013904223
+		w.rounds[t] = 1 + x%8 // skewed task weights
+		block := m.Mem()[w.inEA+uint64(t*w.BlockBytes) : w.inEA+uint64((t+1)*w.BlockBytes)]
+		w.expected[uint32(t)] = fnvRounds(block, w.rounds[t])
+	}
+
+	nspe := m.NumSPEs()
+	m.RunMain(func(h cell.Host) {
+		var hs []*cell.SPEHandle
+		for s := 0; s < nspe; s++ {
+			hs = append(hs, h.Run(s, "taskfarm", func(spu cell.SPU) uint32 {
+				return w.workerMain(spu)
+			}))
+		}
+		// Publishing and draining must proceed concurrently: with both
+		// queues bounded, a single PPE thread doing one then the other
+		// livelocks once workers fill the result queue while the task
+		// queue is still full. A second PPE thread feeds the farm.
+		h.Spawn("ppe:feeder", func(h2 cell.Host) {
+			for t := 0; t < w.Tasks; t++ {
+				w.tasks.Put(h2, packTask(uint16(t), w.rounds[t]))
+			}
+			for s := 0; s < nspe; s++ {
+				w.tasks.Put(h2, poison)
+			}
+		})
+		// Drain results on the main thread.
+		for r := 0; r < w.Tasks; r++ {
+			id, digest := unpackResult(w.results.Get(h))
+			w.digests[uint32(id)] = digest
+		}
+		for _, hd := range hs {
+			if code := h.Wait(hd); code != 0 {
+				panic(fmt.Sprintf("taskfarm: worker exited with %d", code))
+			}
+		}
+	})
+	return nil
+}
+
+func (w *TaskFarm) workerMain(spu cell.SPU) uint32 {
+	ls := spu.LS()
+	for {
+		v := w.tasks.Get(spu)
+		if v == poison {
+			return 0
+		}
+		id, rounds := unpackTask(v)
+		spu.Get(0, w.inEA+uint64(int(id)*w.BlockBytes), w.BlockBytes, 0)
+		spu.WaitTagAll(1)
+		digest := fnvRounds(ls[:w.BlockBytes], rounds)
+		// ~2 cycles per hashed byte per round.
+		spu.Compute(2 * uint64(w.BlockBytes) * uint64(rounds))
+		w.results.Put(spu, packResult(id, digest))
+	}
+}
+
+func (w *TaskFarm) Verify(m *cell.Machine) error {
+	if len(w.digests) != w.Tasks {
+		return fmt.Errorf("taskfarm: %d results, want %d", len(w.digests), w.Tasks)
+	}
+	for id, want := range w.expected {
+		if got, ok := w.digests[id]; !ok || got != want {
+			return fmt.Errorf("taskfarm: task %d digest = %#x, want %#x", id, w.digests[id], want)
+		}
+	}
+	return nil
+}
