@@ -1,0 +1,28 @@
+# Tier-1 gate: `make ci` is what CI and pre-merge checks run.
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+ci: fmt vet build race bench
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over the trace-load benchmarks (BenchmarkLoadLargeTrace,
+# BenchmarkTraceLoad) to catch load-path regressions that only show up
+# under -bench; -short shrinks the synthetic trace.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkLoad -benchtime 1x -short .

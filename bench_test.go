@@ -11,12 +11,14 @@ package pdt_test
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"testing"
 
 	"github.com/celltrace/pdt/internal/analyzer"
 	"github.com/celltrace/pdt/internal/core"
 	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/core/traceio"
 	"github.com/celltrace/pdt/internal/harness"
 )
 
@@ -133,6 +135,52 @@ func BenchmarkTraceLoad(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkLoadLargeTrace measures the analyzer's load pipeline on a
+// synthetic multi-MiB, multi-chunk trace (one chunk per SPE run plus the
+// PPE chunk): the parallel decode + k-way merge + index path against the
+// serial decode + global-stable-sort reference it replaced. Both
+// sub-benchmarks start from the same parsed file, so the delta is purely
+// the pipeline.
+func BenchmarkLoadLargeTrace(b *testing.B) {
+	events := 20000
+	if testing.Short() {
+		events = 2000
+	}
+	cfg := core.DefaultTraceConfig()
+	res, err := harness.Run(harness.Spec{
+		Workload: "synthetic",
+		Params:   map[string]string{"events": fmt.Sprint(events), "gap": "100"},
+		Trace:    &cfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := traceio.Parse(res.TraceBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := res.Stats.SPERecords + res.Stats.PPERecords
+	b.Logf("trace: %d bytes, %d records, %d chunks", len(res.TraceBytes), recs, len(f.Chunks))
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(int64(len(res.TraceBytes)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := analyzer.FromFile(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(len(res.TraceBytes)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := analyzer.FromFileSerial(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSimulatedMachine measures simulator throughput: simulated

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pdt-bench -experiment all
+//	pdt-bench -experiment all -parallel
 //	pdt-bench -experiment E6
 //	pdt-bench -experiment E3 -quick
 package main
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"github.com/celltrace/pdt/internal/harness"
 )
@@ -29,6 +31,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pdt-bench", flag.ContinueOnError)
 	exp := fs.String("experiment", "all", "experiment id (E1..E10) or 'all'")
 	quick := fs.Bool("quick", false, "shrink problem sizes for a fast smoke run")
+	parallel := fs.Bool("parallel", false, "regenerate independent experiment tables concurrently (one worker per host core); output stays in experiment order")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,12 +52,9 @@ func run(args []string, out io.Writer) error {
 		}
 		todo = []harness.Experiment{e}
 	}
-	for _, e := range todo {
-		fmt.Fprintf(out, "==== %s: %s ====\n", e.ID, e.Title)
-		if err := e.Run(out, *quick); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
-		fmt.Fprintln(out)
+	workers := 1
+	if *parallel {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return nil
+	return harness.RunExperiments(out, todo, *quick, workers)
 }

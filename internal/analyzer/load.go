@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/celltrace/pdt/internal/core/event"
 	"github.com/celltrace/pdt/internal/core/traceio"
@@ -46,6 +48,13 @@ type Trace struct {
 	Strings   map[uint64]string
 	Truncated bool
 	Issues    []Issue // populated by Load (decoding) and Validate
+
+	// coreIndex and runIndex are per-core / per-run views of Events in
+	// stream order, built once at load so CoreEvents and RunEvents do
+	// not re-scan the whole stream on every call. They are nil on
+	// hand-assembled Trace values, which fall back to scanning.
+	coreIndex map[uint8][]Event
+	runIndex  [][]Event
 }
 
 // LoadFile loads a trace from disk.
@@ -67,8 +76,21 @@ func Load(r io.Reader) (*Trace, error) {
 	return FromFile(f)
 }
 
-// FromFile merges an already-parsed trace file.
+// FromFile merges an already-parsed trace file through the parallel
+// decode→merge→index pipeline: chunks are decoded concurrently by a
+// bounded worker pool, the per-chunk streams (each time-ordered at the
+// source) are combined with a k-way heap merge, and the per-core and
+// per-run views are indexed once. The resulting event order is exactly
+// the one FromFileSerial's global stable sort produces: ascending Global
+// time, ties broken by chunk position in the file, then record position
+// within the chunk.
 func FromFile(f *traceio.File) (*Trace, error) {
+	return fromFile(f, runtime.GOMAXPROCS(0))
+}
+
+// newTrace builds the Trace shell shared by both load paths: header,
+// metadata, and the file-level issues (truncation, drop accounting).
+func newTrace(f *traceio.File) *Trace {
 	tr := &Trace{
 		Header:    f.Header,
 		Meta:      f.Meta,
@@ -82,51 +104,241 @@ func FromFile(f *traceio.File) (*Trace, error) {
 		tr.Issues = append(tr.Issues,
 			Issue{"warn", fmt.Sprintf("SPE %d dropped %d records (main trace region full)", d.SPE, d.Count)})
 	}
-	for _, c := range f.Chunks {
-		recs, trunc, err := traceio.DecodeChunk(c)
-		if err != nil {
-			return nil, err
-		}
-		if trunc {
-			tr.Issues = append(tr.Issues,
-				Issue{"warn", fmt.Sprintf("chunk for core %d truncated mid-record", c.Core)})
-		}
-		run := -1
-		var anchorTB uint64
-		if c.Core != event.CorePPE {
-			if int(c.AnchorIdx) >= len(f.Meta.Anchors) {
-				return nil, fmt.Errorf("analyzer: chunk for SPE %d references anchor %d of %d",
-					c.Core, c.AnchorIdx, len(f.Meta.Anchors))
-			}
-			a := f.Meta.Anchors[c.AnchorIdx]
-			if a.SPE != int(c.Core) {
-				tr.Issues = append(tr.Issues,
-					Issue{"error", fmt.Sprintf("anchor %d is for SPE %d but chunk is core %d", c.AnchorIdx, a.SPE, c.Core)})
-			}
-			run = int(c.AnchorIdx)
-			anchorTB = a.Timebase
-		}
-		for _, rec := range recs {
-			ev := Event{Record: rec, Run: run}
-			if rec.Flags&event.FlagDecrTime != 0 {
-				// SPU decrementer time: elapsed ticks since the anchor.
-				ev.Global = anchorTB + rec.Time
-			} else {
-				ev.Global = rec.Time
-			}
-			if rec.ID == event.StringDef && len(rec.Args) == 1 {
-				tr.Strings[rec.Args[0]] = rec.Str
-			}
-			tr.Events = append(tr.Events, ev)
-		}
+	return tr
+}
+
+// stringDef is one interned string observed while decoding a chunk.
+type stringDef struct {
+	ref uint64
+	s   string
+}
+
+// chunkResult is everything one worker produced for one chunk.
+type chunkResult struct {
+	events  []Event
+	strings []stringDef
+	issues  []Issue
+	err     error
+}
+
+// fromFile runs the pipeline with a bounded number of decode workers.
+func fromFile(f *traceio.File, workers int) (*Trace, error) {
+	tr := newTrace(f)
+	n := len(f.Chunks)
+	if n == 0 {
+		tr.buildIndexes()
+		return tr, nil
 	}
-	sort.SliceStable(tr.Events, func(i, j int) bool {
-		return tr.Events[i].Global < tr.Events[j].Global
-	})
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]chunkResult, n)
+	if workers == 1 {
+		for i := range f.Chunks {
+			results[i] = decodeChunkEvents(f, i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = decodeChunkEvents(f, i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	// Aggregate in chunk order so issues, string interning and the error
+	// returned are deterministic and identical to the serial path.
+	total := 0
+	streams := make([][]Event, n)
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return nil, r.err
+		}
+		tr.Issues = append(tr.Issues, r.issues...)
+		for _, sd := range r.strings {
+			tr.Strings[sd.ref] = sd.s
+		}
+		streams[i] = r.events
+		total += len(r.events)
+	}
+	tr.Events = mergeStreams(streams, total)
 	for i := range tr.Events {
 		tr.Events[i].Seq = i
 	}
+	tr.buildIndexes()
 	return tr, nil
+}
+
+// decodeChunkEvents decodes one chunk into its event stream, resolving
+// anchor times and collecting interned strings and per-chunk issues. The
+// returned stream is ascending in Global: chunks are time-ordered at the
+// source, and the rare unordered one (none of our writers produce them,
+// but foreign traces may) is stable-sorted here, which preserves exact
+// equivalence with a global stable sort.
+func decodeChunkEvents(f *traceio.File, i int) chunkResult {
+	c := f.Chunks[i]
+	var res chunkResult
+	recs, trunc, err := traceio.DecodeChunk(c)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	if trunc {
+		res.issues = append(res.issues,
+			Issue{"warn", fmt.Sprintf("chunk for core %d truncated mid-record", c.Core)})
+	}
+	run := -1
+	var anchorTB uint64
+	if c.Core != event.CorePPE {
+		if int(c.AnchorIdx) >= len(f.Meta.Anchors) {
+			res.err = fmt.Errorf("analyzer: chunk for SPE %d references anchor %d of %d",
+				c.Core, c.AnchorIdx, len(f.Meta.Anchors))
+			return res
+		}
+		a := f.Meta.Anchors[c.AnchorIdx]
+		if a.SPE != int(c.Core) {
+			res.issues = append(res.issues,
+				Issue{"error", fmt.Sprintf("anchor %d is for SPE %d but chunk is core %d", c.AnchorIdx, a.SPE, c.Core)})
+		}
+		run = int(c.AnchorIdx)
+		anchorTB = a.Timebase
+	}
+	evs := make([]Event, len(recs))
+	sorted := true
+	for j, rec := range recs {
+		ev := &evs[j]
+		ev.Record = rec
+		ev.Run = run
+		if rec.Flags&event.FlagDecrTime != 0 {
+			// SPU decrementer time: elapsed ticks since the anchor.
+			ev.Global = anchorTB + rec.Time
+		} else {
+			ev.Global = rec.Time
+		}
+		if rec.ID == event.StringDef && len(rec.Args) == 1 {
+			res.strings = append(res.strings, stringDef{rec.Args[0], rec.Str})
+		}
+		if j > 0 && evs[j-1].Global > ev.Global {
+			sorted = false
+		}
+	}
+	if !sorted {
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].Global < evs[b].Global })
+	}
+	res.events = evs
+	return res
+}
+
+// streamHead is one live input of the k-way merge: the remaining events
+// of a chunk plus the chunk's file position, which breaks Global ties.
+type streamHead struct {
+	ev  []Event
+	idx int
+}
+
+// headLess orders heap entries by (Global of next event, chunk index);
+// the chunk index is unique, so the order is total and the merge output
+// is exactly the stable-sort order over the chunk-concatenated stream.
+func headLess(a, b *streamHead) bool {
+	ga, gb := a.ev[0].Global, b.ev[0].Global
+	return ga < gb || (ga == gb && a.idx < b.idx)
+}
+
+func siftDown(h []streamHead, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && headLess(&h[r], &h[l]) {
+			m = r
+		}
+		if !headLess(&h[m], &h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// mergeStreams k-way merges per-chunk event streams, each ascending in
+// Global, into one slice of length total: O(N log k) instead of the
+// O(N log N) global sort, with no reflection in the hot loop.
+func mergeStreams(streams [][]Event, total int) []Event {
+	h := make([]streamHead, 0, len(streams))
+	for i, s := range streams {
+		if len(s) > 0 {
+			h = append(h, streamHead{s, i})
+		}
+	}
+	if len(h) == 0 {
+		return nil
+	}
+	if len(h) == 1 {
+		return h[0].ev
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+	out := make([]Event, 0, total)
+	for len(h) > 1 {
+		top := &h[0]
+		out = append(out, top.ev[0])
+		top.ev = top.ev[1:]
+		if len(top.ev) == 0 {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(h, 0)
+	}
+	return append(out, h[0].ev...)
+}
+
+// buildIndexes precomputes the CoreEvents and RunEvents views in two
+// passes (count, then fill) so every view is allocated exactly once.
+func (tr *Trace) buildIndexes() {
+	coreCount := make(map[uint8]int)
+	runCount := make([]int, len(tr.Meta.Anchors))
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		coreCount[e.Core]++
+		if e.Run >= 0 && e.Run < len(runCount) {
+			runCount[e.Run]++
+		}
+	}
+	tr.coreIndex = make(map[uint8][]Event, len(coreCount))
+	for c, n := range coreCount {
+		tr.coreIndex[c] = make([]Event, 0, n)
+	}
+	tr.runIndex = make([][]Event, len(runCount))
+	for r, n := range runCount {
+		if n > 0 {
+			tr.runIndex[r] = make([]Event, 0, n)
+		}
+	}
+	for i := range tr.Events {
+		e := tr.Events[i]
+		tr.coreIndex[e.Core] = append(tr.coreIndex[e.Core], e)
+		if e.Run >= 0 && e.Run < len(tr.runIndex) {
+			tr.runIndex[e.Run] = append(tr.runIndex[e.Run], e)
+		}
+	}
 }
 
 // StringRef resolves an interned string reference.
@@ -137,8 +349,13 @@ func (tr *Trace) StringRef(ref uint64) string {
 	return fmt.Sprintf("<str:%d>", ref)
 }
 
-// CoreEvents returns the events of one core in stream order.
+// CoreEvents returns the events of one core in stream order. On traces
+// built by the load pipeline this is a precomputed view; callers must
+// not modify it.
 func (tr *Trace) CoreEvents(core uint8) []Event {
+	if tr.coreIndex != nil {
+		return tr.coreIndex[core]
+	}
 	var out []Event
 	for _, e := range tr.Events {
 		if e.Core == core {
@@ -149,7 +366,12 @@ func (tr *Trace) CoreEvents(core uint8) []Event {
 }
 
 // RunEvents returns the events of one SPE program run in stream order.
+// On traces built by the load pipeline this is a precomputed view;
+// callers must not modify it.
 func (tr *Trace) RunEvents(run int) []Event {
+	if tr.runIndex != nil && run >= 0 && run < len(tr.runIndex) {
+		return tr.runIndex[run]
+	}
 	var out []Event
 	for _, e := range tr.Events {
 		if e.Run == run {

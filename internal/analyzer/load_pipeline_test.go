@@ -1,0 +1,273 @@
+package analyzer
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/core/traceio"
+)
+
+// encodeFile serializes meta+chunks through the writer and parses the
+// result back, giving the pipeline exactly what a disk trace provides.
+func encodeFile(t *testing.T, meta traceio.Meta, chunks []traceio.Chunk) *traceio.File {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := traceio.NewWriter(&buf, traceio.Header{Version: traceio.Version, NumSPEs: 8, TimebaseDiv: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMeta(&meta); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chunks {
+		if err := w.WriteChunk(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := traceio.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// assertTracesEqual compares every observable of two loaded traces,
+// including the Seq-for-Seq event order and the precomputed views.
+func assertTracesEqual(t *testing.T, want, got *Trace) {
+	t.Helper()
+	if want.Truncated != got.Truncated {
+		t.Fatalf("Truncated: want %v got %v", want.Truncated, got.Truncated)
+	}
+	if !reflect.DeepEqual(want.Issues, got.Issues) {
+		t.Fatalf("Issues differ:\nwant %v\ngot  %v", want.Issues, got.Issues)
+	}
+	if !reflect.DeepEqual(want.Strings, got.Strings) {
+		t.Fatalf("Strings differ:\nwant %v\ngot  %v", want.Strings, got.Strings)
+	}
+	if len(want.Events) != len(got.Events) {
+		t.Fatalf("event count: want %d got %d", len(want.Events), len(got.Events))
+	}
+	for i := range want.Events {
+		if !reflect.DeepEqual(want.Events[i], got.Events[i]) {
+			t.Fatalf("event %d differs:\nwant %+v\ngot  %+v", i, want.Events[i], got.Events[i])
+		}
+	}
+	for core := 0; core < 8; core++ {
+		if !reflect.DeepEqual(want.CoreEvents(uint8(core)), got.CoreEvents(uint8(core))) {
+			t.Fatalf("CoreEvents(%d) differ", core)
+		}
+	}
+	if !reflect.DeepEqual(want.CoreEvents(event.CorePPE), got.CoreEvents(event.CorePPE)) {
+		t.Fatalf("CoreEvents(PPE) differ")
+	}
+	for run := -1; run < len(want.Meta.Anchors)+1; run++ {
+		if !reflect.DeepEqual(want.RunEvents(run), got.RunEvents(run)) {
+			t.Fatalf("RunEvents(%d) differ", run)
+		}
+	}
+}
+
+// randChunks builds a reproducible random multi-chunk trace designed to
+// stress the merge: heavy Global-time ties across chunks (exercising the
+// chunk-order tie-break), zero padding runs, interned strings, and the
+// occasional chunk that is not time-ordered at the source.
+func randChunks(rng *rand.Rand) (traceio.Meta, []traceio.Chunk) {
+	meta := traceio.Meta{Workload: "fuzz"}
+	nChunks := 1 + rng.Intn(10)
+	var chunks []traceio.Chunk
+	for c := 0; c < nChunks; c++ {
+		var data []byte
+		spe := c % 6
+		isPPE := rng.Intn(4) == 0
+		core := uint8(spe)
+		anchor := uint16(traceio.NoAnchor)
+		var flags uint8
+		if isPPE {
+			core = event.CorePPE
+		} else {
+			anchor = uint16(len(meta.Anchors))
+			meta.Anchors = append(meta.Anchors, traceio.Anchor{
+				SPE: spe, Timebase: uint64(rng.Intn(50)), Program: fmt.Sprintf("p%d", c),
+			})
+			flags = event.FlagDecrTime
+		}
+		// Mostly-ascending times from a tiny range so cross-chunk ties
+		// are common; ~1 in 5 chunks is deliberately unordered.
+		tm := uint64(rng.Intn(4))
+		shuffle := rng.Intn(5) == 0
+		var times []uint64
+		nRecs := rng.Intn(40)
+		for r := 0; r < nRecs; r++ {
+			times = append(times, tm)
+			tm += uint64(rng.Intn(3))
+		}
+		if shuffle {
+			rng.Shuffle(len(times), func(i, j int) { times[i], times[j] = times[j], times[i] })
+		}
+		for r := 0; r < nRecs; r++ {
+			var rec event.Record
+			switch rng.Intn(3) {
+			case 0:
+				rec = event.Record{ID: event.SPEUserEvent, Args: []uint64{uint64(r), 1, 2}}
+			case 1:
+				rec = event.Record{ID: event.SPEMFCGet, Args: []uint64{0, 4096, 128, uint64(r % 8)}}
+			default:
+				rec = event.Record{ID: event.StringDef, Flags: event.FlagHasStr,
+					Args: []uint64{uint64(rng.Intn(6))}, Str: fmt.Sprintf("s%d-%d", c, r)}
+			}
+			rec.Core = core
+			rec.Flags |= flags
+			rec.Time = times[r]
+			var err error
+			data, err = rec.AppendTo(data)
+			if err != nil {
+				panic(err)
+			}
+			if rng.Intn(6) == 0 {
+				// DMA-alignment padding run between flush regions.
+				data = append(data, make([]byte, 1+rng.Intn(40))...)
+			}
+		}
+		chunks = append(chunks, traceio.Chunk{Core: core, AnchorIdx: anchor, Data: data})
+	}
+	return meta, chunks
+}
+
+// TestPipelineMatchesSerialFuzzed proves the parallel pipeline and the
+// stable-sort reference produce identical traces — Seq for Seq, issue
+// for issue — on randomized multi-chunk inputs, across worker counts.
+func TestPipelineMatchesSerialFuzzed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		meta, chunks := randChunks(rng)
+		f := encodeFile(t, meta, chunks)
+		want, err := FromFileSerial(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3, 8} {
+			got, err := fromFile(f, workers)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			assertTracesEqual(t, want, got)
+		}
+	}
+}
+
+// TestPipelineChunkIssues checks that per-chunk findings (anchor
+// mismatch, mid-record truncation) surface identically and in the same
+// order from both load paths.
+func TestPipelineChunkIssues(t *testing.T) {
+	meta := traceio.Meta{
+		Anchors: []traceio.Anchor{{SPE: 3, Timebase: 10, Program: "x"}}, // chunk below claims core 1
+	}
+	rec := event.Record{ID: event.SPEUserEvent, Core: 1, Flags: event.FlagDecrTime,
+		Time: 5, Args: []uint64{1, 2, 3}}
+	data, err := rec.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncated := append(append([]byte{}, data...), data[:5]...) // second record cut mid-header
+	chunks := []traceio.Chunk{
+		{Core: 1, AnchorIdx: 0, Data: data},
+		{Core: 1, AnchorIdx: 0, Data: truncated},
+	}
+	f := encodeFile(t, meta, chunks)
+	want, err := FromFileSerial(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Issues) != 3 { // mismatch (chunk 0), mismatch + truncation (chunk 1)
+		t.Fatalf("expected 3 issues from reference path, got %v", want.Issues)
+	}
+	got, err := fromFile(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTracesEqual(t, want, got)
+}
+
+// TestPipelineBadAnchorError checks both paths reject a chunk whose
+// anchor index is out of range, with the same error.
+func TestPipelineBadAnchorError(t *testing.T) {
+	rec := event.Record{ID: event.SPEUserEvent, Core: 0, Flags: event.FlagDecrTime,
+		Time: 1, Args: []uint64{1, 2, 3}}
+	data, err := rec.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := encodeFile(t, traceio.Meta{}, []traceio.Chunk{{Core: 0, AnchorIdx: 4, Data: data}})
+	_, errSerial := FromFileSerial(f)
+	_, errPar := fromFile(f, 2)
+	if errSerial == nil || errPar == nil {
+		t.Fatalf("expected errors, got serial=%v parallel=%v", errSerial, errPar)
+	}
+	if errSerial.Error() != errPar.Error() {
+		t.Fatalf("errors differ: serial=%v parallel=%v", errSerial, errPar)
+	}
+}
+
+// TestMergeStreams exercises the k-way merge directly on corner cases.
+func TestMergeStreams(t *testing.T) {
+	ev := func(global uint64, seqTag int) Event {
+		return Event{Global: global, Run: seqTag}
+	}
+	cases := []struct {
+		name    string
+		streams [][]Event
+		want    []uint64 // expected Global order
+		runs    []int    // expected Run (stream tag) order, checking ties
+	}{
+		{"empty", nil, nil, nil},
+		{"single", [][]Event{{ev(3, 0), ev(5, 0)}}, []uint64{3, 5}, []int{0, 0}},
+		{"ties break by chunk order",
+			[][]Event{{ev(1, 0), ev(2, 0)}, {ev(1, 1), ev(2, 1)}, {ev(1, 2)}},
+			[]uint64{1, 1, 1, 2, 2}, []int{0, 1, 2, 0, 1}},
+		{"with empty stream between",
+			[][]Event{{ev(4, 0)}, nil, {ev(2, 2), ev(4, 2)}},
+			[]uint64{2, 4, 4}, []int{2, 0, 2}},
+	}
+	for _, tc := range cases {
+		total := 0
+		for _, s := range tc.streams {
+			total += len(s)
+		}
+		got := mergeStreams(tc.streams, total)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: got %d events, want %d", tc.name, len(got), len(tc.want))
+		}
+		for i := range got {
+			if got[i].Global != tc.want[i] || got[i].Run != tc.runs[i] {
+				t.Fatalf("%s: event %d = (t=%d, stream=%d), want (t=%d, stream=%d)",
+					tc.name, i, got[i].Global, got[i].Run, tc.want[i], tc.runs[i])
+			}
+		}
+	}
+}
+
+// TestManualTraceFallback checks that hand-assembled Trace values (no
+// precomputed indexes) still answer CoreEvents/RunEvents by scanning.
+func TestManualTraceFallback(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Record: event.Record{Core: 2}, Run: 0, Global: 1, Seq: 0},
+		{Record: event.Record{Core: event.CorePPE}, Run: -1, Global: 2, Seq: 1},
+		{Record: event.Record{Core: 2}, Run: 0, Global: 3, Seq: 2},
+	}}
+	if n := len(tr.CoreEvents(2)); n != 2 {
+		t.Fatalf("CoreEvents(2) = %d events, want 2", n)
+	}
+	if n := len(tr.RunEvents(-1)); n != 1 {
+		t.Fatalf("RunEvents(-1) = %d events, want 1", n)
+	}
+	if n := len(tr.RunEvents(0)); n != 2 {
+		t.Fatalf("RunEvents(0) = %d events, want 2", n)
+	}
+}

@@ -44,6 +44,11 @@ const MaxStrLen = 200
 // size u8 | id u16 | core u8 | flags u8 | time u64 | nargs u8.
 const headerSize = 1 + 2 + 1 + 1 + 8 + 1
 
+// MinRecordSize is the smallest possible encoded record (a zero-arg
+// record is just the header). Decoders use it to bound the record count
+// of a buffer from its byte length.
+const MinRecordSize = headerSize
+
 // Record is one decoded trace record.
 type Record struct {
 	ID    ID

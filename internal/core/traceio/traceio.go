@@ -251,10 +251,20 @@ func Parse(data []byte) (*File, error) {
 // an error alongside the records decoded so far.
 func DecodeChunk(c Chunk) (recs []event.Record, truncated bool, err error) {
 	data := c.Data
+	if est := len(data) / event.MinRecordSize; est > 0 {
+		// Preallocate from the record-count upper bound so decoding a
+		// chunk never regrows the slice.
+		recs = make([]event.Record, 0, est)
+	}
 	for len(data) > 0 {
 		if data[0] == 0 {
-			// DMA-alignment padding between buffer flushes.
-			data = data[1:]
+			// DMA-alignment padding between buffer flushes: skip the
+			// whole zero run at once.
+			n := 1
+			for n < len(data) && data[n] == 0 {
+				n++
+			}
+			data = data[n:]
 			continue
 		}
 		r, n, derr := event.Decode(data)

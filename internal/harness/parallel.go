@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// RunExperiments regenerates the given experiments, writing each report
+// to w in experiment order under its "==== ID: Title ====" banner. With
+// workers > 1 the independent table regenerations run concurrently, each
+// into its own buffer (every experiment builds its own machines, so runs
+// do not share state); the output is flushed in experiment order as soon
+// as each report is complete, byte-identical to a serial run. The first
+// failing experiment (in experiment order) is returned after all
+// in-flight work has drained.
+func RunExperiments(w io.Writer, exps []Experiment, quick bool, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	type report struct {
+		buf  bytes.Buffer
+		err  error
+		done chan struct{}
+	}
+	reports := make([]*report, len(exps))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range exps {
+		reports[i] = &report{done: make(chan struct{})}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem; close(reports[i].done) }()
+			e := exps[i]
+			r := reports[i]
+			fmt.Fprintf(&r.buf, "==== %s: %s ====\n", e.ID, e.Title)
+			if err := e.Run(&r.buf, quick); err != nil {
+				r.err = fmt.Errorf("%s: %w", e.ID, err)
+				return
+			}
+			fmt.Fprintln(&r.buf)
+		}(i)
+	}
+	var firstErr error
+	for _, r := range reports {
+		<-r.done
+		if firstErr != nil {
+			continue // drain remaining work, report the earliest failure
+		}
+		if r.err != nil {
+			firstErr = r.err
+			continue
+		}
+		if _, err := w.Write(r.buf.Bytes()); err != nil {
+			firstErr = err
+		}
+	}
+	wg.Wait()
+	return firstErr
+}

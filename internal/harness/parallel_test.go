@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// fakeExperiments builds deterministic experiments whose reports expose
+// the writer interleaving.
+func fakeExperiments(n int, failAt int) []Experiment {
+	exps := make([]Experiment, n)
+	for i := range exps {
+		i := i
+		exps[i] = Experiment{
+			ID:    fmt.Sprintf("X%d", i+1),
+			Title: fmt.Sprintf("fake table %d", i+1),
+			Run: func(w io.Writer, quick bool) error {
+				if i == failAt {
+					return errors.New("boom")
+				}
+				fmt.Fprintf(w, "row %d quick=%v\n", i+1, quick)
+				return nil
+			},
+		}
+	}
+	return exps
+}
+
+// TestRunExperimentsParallelMatchesSerial checks the concurrent runner
+// produces byte-identical output to the serial one, in experiment order.
+func TestRunExperimentsParallelMatchesSerial(t *testing.T) {
+	exps := fakeExperiments(7, -1)
+	var serial, parallel bytes.Buffer
+	if err := RunExperiments(&serial, exps, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunExperiments(&parallel, exps, true, 4); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("outputs differ:\nserial:\n%s\nparallel:\n%s", serial.String(), parallel.String())
+	}
+	if !strings.Contains(serial.String(), "==== X1: fake table 1 ====") {
+		t.Fatalf("banner missing:\n%s", serial.String())
+	}
+	if strings.Index(serial.String(), "row 7") < strings.Index(serial.String(), "row 1") {
+		t.Fatal("experiment order not preserved")
+	}
+}
+
+// TestRunExperimentsError checks the earliest failing experiment wins
+// and later reports are suppressed, matching serial semantics.
+func TestRunExperimentsError(t *testing.T) {
+	exps := fakeExperiments(5, 2)
+	for _, workers := range []int{1, 3} {
+		var out bytes.Buffer
+		err := RunExperiments(&out, exps, false, workers)
+		if err == nil || !strings.Contains(err.Error(), "X3") {
+			t.Fatalf("workers=%d: want X3 failure, got %v", workers, err)
+		}
+		if strings.Contains(out.String(), "row 4") {
+			t.Fatalf("workers=%d: output after failure leaked:\n%s", workers, out.String())
+		}
+		if !strings.Contains(out.String(), "row 2") {
+			t.Fatalf("workers=%d: output before failure missing:\n%s", workers, out.String())
+		}
+	}
+}
+
+// TestRunExperimentsConcurrentReal runs two real (quick) experiments
+// concurrently — the machines and sessions an experiment builds must be
+// fully independent; go test -race guards the claim.
+func TestRunExperimentsConcurrentReal(t *testing.T) {
+	e1, ok1 := ByID("E1")
+	e5, ok5 := ByID("E5")
+	if !ok1 || !ok5 {
+		t.Fatal("experiments missing")
+	}
+	exps := []Experiment{e1, e5}
+	var serial, parallel bytes.Buffer
+	if err := RunExperiments(&serial, exps, true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunExperiments(&parallel, exps, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatal("parallel experiment regeneration not deterministic")
+	}
+}
