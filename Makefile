@@ -1,9 +1,9 @@
 # Tier-1 gate: `make ci` is what CI and pre-merge checks run.
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench fuzz-smoke fuzz
 
-ci: fmt vet build race bench
+ci: fmt vet build race bench fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,3 +26,12 @@ race:
 # under -bench; -short shrinks the synthetic trace.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkLoad -benchtime 1x -short .
+
+# Replay the checked-in fuzz corpora (seed inputs + past findings) as
+# plain tests — fast, deterministic, no fuzzing engine.
+fuzz-smoke:
+	$(GO) test -run 'Fuzz' ./internal/core/traceio
+
+# Actual coverage-guided fuzzing of the salvage path (long; not in ci).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSalvage -fuzztime 60s ./internal/core/traceio

@@ -7,10 +7,12 @@
 //	pdt-run -workload matmul -param n=256 -param buffers=2 -o matmul.pdt
 //	pdt-run -workload julia -param mode=dynamic -groups mfc,sync -o julia.pdt
 //	pdt-run -workload fft -config pdt.xml -o fft.pdt
+//	pdt-run -workload matmul -faults kill:250000 -o crash.pdt
 //	pdt-run -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +21,8 @@ import (
 
 	"github.com/celltrace/pdt/internal/core"
 	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/core/traceio"
+	"github.com/celltrace/pdt/internal/faults"
 	"github.com/celltrace/pdt/internal/harness"
 	"github.com/celltrace/pdt/internal/workloads"
 )
@@ -58,6 +62,7 @@ func run(args []string, out io.Writer) error {
 		winStart   = fs.Uint64("windowstart", 0, "record only events at/after this cycle")
 		winEnd     = fs.Uint64("windowend", 0, "record only events before this cycle (0 = open)")
 		untraced   = fs.Bool("untraced", false, "run without tracing (baseline timing)")
+		faultSpec  = fs.String("faults", "", "fault injection spec, e.g. kill:250000,stall:0:5000:4000,corrupt:rand:rand (see internal/faults)")
 	)
 	fs.Var(params, "param", "workload parameter key=value (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +88,13 @@ func run(args []string, out io.Writer) error {
 		Params:    params,
 		NumSPEs:   *spes,
 		TracePath: *output,
+	}
+	if *faultSpec != "" {
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+		spec.Faults = plan
 	}
 	if !*untraced {
 		cfg := core.DefaultTraceConfig()
@@ -121,15 +133,36 @@ func run(args []string, out io.Writer) error {
 
 	res, err := harness.Run(spec)
 	if err != nil {
+		if traceio.IsCorrupt(err) || errors.Is(err, traceio.ErrUnsalvageable) {
+			return fmt.Errorf("%v — try `pdt-ta doctor %s` on the written trace", err, *output)
+		}
 		return err
 	}
-	fmt.Fprintf(out, "workload %s finished in %d cycles (%.3f ms at 3.2 GHz), result verified\n",
-		*workload, res.Cycles, float64(res.Cycles)/3.2e6)
+	if res.Crashed {
+		fmt.Fprintf(out, "workload %s KILLED at cycle %d by fault injection; crash-consistent trace written\n",
+			*workload, res.Cycles)
+	} else {
+		fmt.Fprintf(out, "workload %s finished in %d cycles (%.3f ms at 3.2 GHz), result verified\n",
+			*workload, res.Cycles, float64(res.Cycles)/3.2e6)
+	}
 	if spec.Trace != nil {
 		st := res.Stats
 		fmt.Fprintf(out, "trace: %d SPE + %d PPE records, %d flushes (%d cycles), %d dropped -> %s (%d bytes)\n",
 			st.SPERecords, st.PPERecords, st.Flushes, st.FlushCycles, st.Dropped,
 			*output, len(res.TraceBytes))
+		if st.FlushRetries > 0 || st.FlushFailDrops > 0 {
+			fmt.Fprintf(out, "trace: %d flush retries, %d records dropped by failed flushes\n",
+				st.FlushRetries, st.FlushFailDrops)
+		}
+		for _, n := range res.FaultNotes {
+			fmt.Fprintf(out, "fault: %s\n", n)
+		}
+		if res.Salvage != nil {
+			fmt.Fprintf(out, "salvage: %d/%d chunks recovered, %d records; inspect with `pdt-ta doctor %s`\n",
+				res.Salvage.ChunksRecovered,
+				res.Salvage.ChunksRecovered+res.Salvage.ChunksDamaged+res.Salvage.ChunksDropped,
+				res.Salvage.RecordsRecovered, *output)
+		}
 	}
 	return nil
 }

@@ -9,6 +9,7 @@
 //	pdt-ta csv trace.pdt > events.csv
 //	pdt-ta json trace.pdt
 //	pdt-ta validate trace.pdt
+//	pdt-ta doctor damaged.pdt
 //	pdt-ta events -n 50 trace.pdt
 //	pdt-ta html -o report.html trace.pdt
 //	pdt-ta slack trace.pdt
@@ -24,6 +25,7 @@ import (
 	"os"
 
 	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/core/traceio"
 )
 
 func main() {
@@ -33,8 +35,18 @@ func main() {
 	}
 }
 
+// loadFriendly loads a trace, pointing the user at `pdt-ta doctor` when
+// the file is damaged rather than dumping a raw parse error.
+func loadFriendly(path string) (*analyzer.Trace, error) {
+	tr, err := analyzer.LoadFile(path)
+	if err != nil && traceio.IsCorrupt(err) {
+		return nil, fmt.Errorf("%s looks damaged (%v) — try `pdt-ta doctor %s` to recover what survives", path, err, path)
+	}
+	return tr, err
+}
+
 func usage() error {
-	return fmt.Errorf("usage: pdt-ta <summary|timeline|svg|html|csv|json|validate|events|profile|tags|intervals|slack|bw|compensate|critpath|gaps|compare> [flags] trace.pdt [trace2.pdt]")
+	return fmt.Errorf("usage: pdt-ta <summary|timeline|svg|html|csv|json|validate|doctor|events|profile|tags|intervals|slack|bw|compensate|critpath|gaps|compare> [flags] trace.pdt [trace2.pdt]")
 }
 
 func run(args []string, out io.Writer) error {
@@ -59,14 +71,25 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() != wantArgs {
 		return usage()
 	}
-	tr, err := analyzer.LoadFile(fs.Arg(0))
+	if cmd == "doctor" {
+		rep, err := analyzer.DoctorFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		rep.Write(out)
+		if !rep.Recoverable() {
+			return fmt.Errorf("nothing recoverable in %s", fs.Arg(0))
+		}
+		return nil
+	}
+	tr, err := loadFriendly(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 
 	switch cmd {
 	case "compare":
-		tr2, err := analyzer.LoadFile(fs.Arg(1))
+		tr2, err := loadFriendly(fs.Arg(1))
 		if err != nil {
 			return err
 		}

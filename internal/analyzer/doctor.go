@@ -1,0 +1,152 @@
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/celltrace/pdt/internal/core/traceio"
+)
+
+// DoctorReport bundles everything `pdt-ta doctor` learns about a damaged
+// trace: the byte-level salvage accounting, the trace rebuilt from the
+// surviving chunks, and the structural validation of that rebuilt stream.
+type DoctorReport struct {
+	// Salvage is the byte-level recovery accounting; nil only when the
+	// input could not be read at all.
+	Salvage *traceio.SalvageReport
+	// Trace is the analyzer view of the surviving records; nil when
+	// nothing was recoverable or the lenient load itself failed.
+	Trace *Trace
+	// Validation holds the structural findings on the recovered stream.
+	Validation []Issue
+	// SalvageErr is the terminal salvage failure (traceio.ErrUnsalvageable
+	// wrapped), LoadErr a failure turning the salvaged file into a trace.
+	SalvageErr error
+	LoadErr    error
+}
+
+// Recoverable reports whether any usable trace data survived.
+func (d *DoctorReport) Recoverable() bool {
+	return d.SalvageErr == nil && d.LoadErr == nil && d.Trace != nil
+}
+
+// DoctorFile runs the recovery pipeline on a trace file on disk.
+func DoctorFile(path string) (*DoctorReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DoctorData(data), nil
+}
+
+// DoctorData salvages a raw trace image, loads the survivors leniently,
+// and validates the result. The report is always non-nil; inspect
+// Recoverable for the verdict.
+func DoctorData(data []byte) *DoctorReport {
+	d := &DoctorReport{}
+	f, rep, err := traceio.Salvage(data)
+	d.Salvage = rep
+	if err != nil {
+		d.SalvageErr = err
+		return d
+	}
+	tr, err := FromSalvaged(f, rep)
+	if err != nil {
+		d.LoadErr = err
+		return d
+	}
+	d.Trace = tr
+	d.Validation = Validate(tr)
+	return d
+}
+
+// Write renders the doctor report for humans.
+func (d *DoctorReport) Write(w io.Writer) {
+	rep := d.Salvage
+	if rep == nil {
+		fmt.Fprintln(w, "verdict: UNREADABLE — no salvage was attempted")
+		return
+	}
+	status := func(ok bool) string {
+		if ok {
+			return "ok"
+		}
+		return "DAMAGED"
+	}
+	fmt.Fprintf(w, "header:   %s\n", status(rep.HeaderOK))
+	fmt.Fprintf(w, "metadata: %s\n", status(rep.MetaOK))
+	fmt.Fprintf(w, "footer:   %s\n", status(rep.FooterOK))
+	fmt.Fprintf(w, "bytes:    %d total = %d structural + %d recovered + %d damaged + %d skipped\n",
+		rep.BytesTotal, rep.BytesStructural, rep.BytesRecovered, rep.BytesDamaged, rep.BytesSkipped)
+	fmt.Fprintf(w, "chunks:   %d recovered, %d damaged (trimmed), %d dropped; %d records; %d resync(s)\n",
+		rep.ChunksRecovered, rep.ChunksDamaged, rep.ChunksDropped, rep.RecordsRecovered, rep.Resyncs)
+
+	if len(rep.PerCore) > 0 {
+		cores := make([]int, 0, len(rep.PerCore))
+		for c := range rep.PerCore {
+			cores = append(cores, int(c))
+		}
+		sort.Ints(cores)
+		fmt.Fprintf(w, "\n%-6s %9s %8s %8s %9s %10s %10s\n",
+			"core", "recovered", "damaged", "dropped", "records", "bytes-ok", "bytes-bad")
+		for _, c := range cores {
+			cs := rep.PerCore[uint8(c)]
+			fmt.Fprintf(w, "%-6d %9d %8d %8d %9d %10d %10d\n",
+				c, cs.ChunksRecovered, cs.ChunksDamaged, cs.ChunksDropped,
+				cs.RecordsRecovered, cs.BytesRecovered, cs.BytesDamaged)
+		}
+	}
+
+	if len(rep.Notes) > 0 {
+		fmt.Fprintf(w, "\nfindings:\n")
+		for _, n := range rep.Notes {
+			fmt.Fprintf(w, "  %s\n", n)
+		}
+	}
+
+	switch {
+	case d.SalvageErr != nil:
+		fmt.Fprintf(w, "\nverdict: UNRECOVERABLE — %v\n", d.SalvageErr)
+		return
+	case d.LoadErr != nil:
+		fmt.Fprintf(w, "\nverdict: UNRECOVERABLE — salvaged chunks did not load: %v\n", d.LoadErr)
+		return
+	}
+
+	tr := d.Trace
+	fmt.Fprintf(w, "\nrecovered trace: %d events across %d run(s)\n",
+		len(tr.Events), len(tr.Meta.Anchors))
+	fmt.Fprintf(w, "confidence: %.1f%% overall", 100*tr.Confidence.Overall)
+	if len(tr.Confidence.PerCore) > 0 {
+		cores := make([]int, 0, len(tr.Confidence.PerCore))
+		for c := range tr.Confidence.PerCore {
+			cores = append(cores, int(c))
+		}
+		sort.Ints(cores)
+		fmt.Fprint(w, " (")
+		for i, c := range cores {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "core %d: %.1f%%", c, 100*tr.Confidence.PerCore[uint8(c)])
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintln(w)
+	errs, warns := 0, 0
+	for _, is := range d.Validation {
+		if is.Severity == "error" {
+			errs++
+		} else {
+			warns++
+		}
+	}
+	fmt.Fprintf(w, "validation: %d error(s), %d warning(s) on the recovered stream\n", errs, warns)
+	if rep.Clean() && errs == 0 {
+		fmt.Fprintln(w, "verdict: CLEAN — no damage found")
+	} else {
+		fmt.Fprintln(w, "verdict: RECOVERED — partial trace is usable")
+	}
+}

@@ -55,6 +55,7 @@ type jsonSummary struct {
 	TotalRecords  int            `json:"totalRecords"`
 	LoadImbalance float64        `json:"loadImbalance"`
 	FlushTicks    uint64         `json:"flushTicks"`
+	Confidence    float64        `json:"confidence,omitempty"`
 	Runs          []jsonRun      `json:"runs"`
 	EventCounts   map[string]int `json:"eventCounts"`
 	Issues        []string       `json:"issues,omitempty"`
@@ -68,6 +69,7 @@ type jsonRun struct {
 	Utilization float64           `json:"utilization"`
 	States      map[string]uint64 `json:"stateTicks"`
 	Events      int               `json:"events"`
+	Confidence  float64           `json:"confidence,omitempty"`
 }
 
 // WriteJSON exports the summary (and any validation issues on tr) as JSON.
@@ -80,6 +82,9 @@ func WriteJSON(tr *Trace, s *Summary, w io.Writer) error {
 		FlushTicks:    s.FlushTicks,
 		EventCounts:   map[string]int{},
 	}
+	if tr.Confidence.Degraded() {
+		out.Confidence = tr.Confidence.Overall
+	}
 	for id, n := range s.EventCount {
 		out.EventCounts[id.String()] = n
 	}
@@ -89,6 +94,9 @@ func WriteJSON(tr *Trace, s *Summary, w io.Writer) error {
 			Run: r.Run, Core: r.Core, Program: r.Program,
 			WallTicks: r.Wall(), Utilization: r.Utilization(),
 			States: map[string]uint64{}, Events: r.Events,
+		}
+		if r.Confidence > 0 && r.Confidence < 1 {
+			jr.Confidence = r.Confidence
 		}
 		for _, st := range States() {
 			jr.States[st.String()] = r.StateTicks[st]
@@ -107,6 +115,10 @@ func WriteJSON(tr *Trace, s *Summary, w io.Writer) error {
 func Report(tr *Trace, s *Summary, w io.Writer) {
 	fmt.Fprintf(w, "workload: %s\n", s.Workload)
 	fmt.Fprintf(w, "records:  %d (wall %d timebase ticks)\n", s.TotalRecs, s.WallTicks)
+	if tr.Confidence.Degraded() {
+		fmt.Fprintf(w, "WARNING: degraded trace — confidence %.1f%% (estimated fraction of records that survived)\n",
+			100*tr.Confidence.Overall)
+	}
 	if s.LoadImbalance > 0 {
 		fmt.Fprintf(w, "load imbalance (max/mean busy): %.3f\n", s.LoadImbalance)
 	}

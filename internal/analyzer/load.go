@@ -48,6 +48,11 @@ type Trace struct {
 	Strings   map[uint64]string
 	Truncated bool
 	Issues    []Issue // populated by Load (decoding) and Validate
+	// Confidence estimates what fraction of the records the tracer
+	// produced actually made it into Events, overall and per core — 1.0
+	// on a clean complete trace, lower when records were dropped at
+	// trace time or lost to corruption (salvaged loads).
+	Confidence Confidence
 
 	// coreIndex and runIndex are per-core / per-run views of Events in
 	// stream order, built once at load so CoreEvents and RunEvents do
@@ -85,7 +90,7 @@ func Load(r io.Reader) (*Trace, error) {
 // time, ties broken by chunk position in the file, then record position
 // within the chunk.
 func FromFile(f *traceio.File) (*Trace, error) {
-	return fromFile(f, runtime.GOMAXPROCS(0))
+	return fromFile(f, runtime.GOMAXPROCS(0), false)
 }
 
 // newTrace builds the Trace shell shared by both load paths: header,
@@ -121,12 +126,16 @@ type chunkResult struct {
 	err     error
 }
 
-// fromFile runs the pipeline with a bounded number of decode workers.
-func fromFile(f *traceio.File, workers int) (*Trace, error) {
+// fromFile runs the pipeline with a bounded number of decode workers. In
+// lenient mode (salvaged files), chunk decode errors and unresolvable
+// anchors become Issues on the trace instead of failing the load, and
+// whatever records did decode are kept.
+func fromFile(f *traceio.File, workers int, lenient bool) (*Trace, error) {
 	tr := newTrace(f)
 	n := len(f.Chunks)
 	if n == 0 {
 		tr.buildIndexes()
+		tr.Confidence = computeConfidence(tr, nil)
 		return tr, nil
 	}
 	if workers > n {
@@ -139,7 +148,7 @@ func fromFile(f *traceio.File, workers int) (*Trace, error) {
 	results := make([]chunkResult, n)
 	if workers == 1 {
 		for i := range f.Chunks {
-			results[i] = decodeChunkEvents(f, i)
+			results[i] = decodeChunkEvents(f, i, lenient)
 		}
 	} else {
 		idx := make(chan int)
@@ -149,7 +158,7 @@ func fromFile(f *traceio.File, workers int) (*Trace, error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i] = decodeChunkEvents(f, i)
+					results[i] = decodeChunkEvents(f, i, lenient)
 				}
 			}()
 		}
@@ -181,6 +190,7 @@ func fromFile(f *traceio.File, workers int) (*Trace, error) {
 		tr.Events[i].Seq = i
 	}
 	tr.buildIndexes()
+	tr.Confidence = computeConfidence(tr, nil)
 	return tr, nil
 }
 
@@ -190,13 +200,20 @@ func fromFile(f *traceio.File, workers int) (*Trace, error) {
 // source, and the rare unordered one (none of our writers produce them,
 // but foreign traces may) is stable-sorted here, which preserves exact
 // equivalence with a global stable sort.
-func decodeChunkEvents(f *traceio.File, i int) chunkResult {
+func decodeChunkEvents(f *traceio.File, i int, lenient bool) chunkResult {
 	c := f.Chunks[i]
 	var res chunkResult
 	recs, trunc, err := traceio.DecodeChunk(c)
 	if err != nil {
-		res.err = err
-		return res
+		if !lenient {
+			res.err = err
+			return res
+		}
+		// Lenient (salvaged) load: keep the records that did decode and
+		// surface the damage as an issue.
+		res.issues = append(res.issues,
+			Issue{"error", fmt.Sprintf("chunk for core %d: decode stopped after %d records: %v",
+				c.Core, len(recs), err)})
 	}
 	if trunc {
 		res.issues = append(res.issues,
@@ -206,8 +223,15 @@ func decodeChunkEvents(f *traceio.File, i int) chunkResult {
 	var anchorTB uint64
 	if c.Core != event.CorePPE {
 		if int(c.AnchorIdx) >= len(f.Meta.Anchors) {
-			res.err = fmt.Errorf("analyzer: chunk for SPE %d references anchor %d of %d",
-				c.Core, c.AnchorIdx, len(f.Meta.Anchors))
+			if !lenient {
+				res.err = fmt.Errorf("analyzer: chunk for SPE %d references anchor %d of %d",
+					c.Core, c.AnchorIdx, len(f.Meta.Anchors))
+				return res
+			}
+			// No anchor to place this chunk on the timeline: drop it.
+			res.issues = append(res.issues,
+				Issue{"error", fmt.Sprintf("chunk for SPE %d dropped: anchor %d of %d unresolvable",
+					c.Core, c.AnchorIdx, len(f.Meta.Anchors))})
 			return res
 		}
 		a := f.Meta.Anchors[c.AnchorIdx]

@@ -153,7 +153,7 @@ func TestPipelineMatchesSerialFuzzed(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 2, 3, 8} {
-			got, err := fromFile(f, workers)
+			got, err := fromFile(f, workers, false)
 			if err != nil {
 				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
 			}
@@ -188,7 +188,7 @@ func TestPipelineChunkIssues(t *testing.T) {
 	if len(want.Issues) != 3 { // mismatch (chunk 0), mismatch + truncation (chunk 1)
 		t.Fatalf("expected 3 issues from reference path, got %v", want.Issues)
 	}
-	got, err := fromFile(f, 2)
+	got, err := fromFile(f, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestPipelineBadAnchorError(t *testing.T) {
 	}
 	f := encodeFile(t, traceio.Meta{}, []traceio.Chunk{{Core: 0, AnchorIdx: 4, Data: data}})
 	_, errSerial := FromFileSerial(f)
-	_, errPar := fromFile(f, 2)
+	_, errPar := fromFile(f, 2, false)
 	if errSerial == nil || errPar == nil {
 		t.Fatalf("expected errors, got serial=%v parallel=%v", errSerial, errPar)
 	}

@@ -62,5 +62,6 @@ func FromFileSerial(f *traceio.File) (*Trace, error) {
 		tr.Events[i].Seq = i
 	}
 	tr.buildIndexes()
+	tr.Confidence = computeConfidence(tr, nil)
 	return tr, nil
 }

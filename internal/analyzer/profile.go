@@ -16,6 +16,10 @@ type PairProfile struct {
 	Count int
 	// Ticks is the duration distribution in timebase ticks.
 	Ticks Histogram
+	// Confidence is the lowest record-survival fraction among the cores
+	// that contributed intervals to this pair (1.0 on clean traces); a
+	// low value means the counts and totals understate reality.
+	Confidence float64
 }
 
 // Profile computes per-pair interval statistics over the whole trace.
@@ -49,11 +53,14 @@ func Profile(tr *Trace) []PairProfile {
 			delete(m, info.Pair)
 			p := acc[info.Pair]
 			if p == nil {
-				p = &PairProfile{Enter: info.Pair}
+				p = &PairProfile{Enter: info.Pair, Confidence: 1}
 				acc[info.Pair] = p
 			}
 			p.Count++
 			p.Ticks.Add(e.Global - start)
+			if c := tr.Confidence.ForCore(e.Core); c < p.Confidence {
+				p.Confidence = c
+			}
 		}
 	}
 	out := make([]PairProfile, 0, len(acc))
@@ -70,16 +77,28 @@ func Profile(tr *Trace) []PairProfile {
 }
 
 // WriteProfile renders the profile as a table, most expensive pair first.
+// On degraded (salvaged or lossy) traces a confidence column shows the
+// record-survival fraction behind each row; clean traces keep the
+// original layout.
 func WriteProfile(tr *Trace, w io.Writer) {
-	fmt.Fprintf(w, "%-28s %8s %12s %12s %12s\n", "interval", "count", "total ticks", "mean", "max")
+	degraded := tr.Confidence.Degraded()
+	fmt.Fprintf(w, "%-28s %8s %12s %12s %12s", "interval", "count", "total ticks", "mean", "max")
+	if degraded {
+		fmt.Fprintf(w, " %6s", "conf")
+	}
+	fmt.Fprintln(w)
 	for _, p := range Profile(tr) {
 		name := p.Enter.String()
 		// Strip the _ENTER suffix for readability.
 		if n := len(name); n > 6 && name[n-6:] == "_ENTER" {
 			name = name[:n-6]
 		}
-		fmt.Fprintf(w, "%-28s %8d %12d %12.1f %12d\n",
+		fmt.Fprintf(w, "%-28s %8d %12d %12.1f %12d",
 			name, p.Count, p.Ticks.Sum, p.Ticks.Mean(), p.Ticks.Max)
+		if degraded {
+			fmt.Fprintf(w, " %5.1f%%", 100*p.Confidence)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

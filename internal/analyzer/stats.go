@@ -51,6 +51,10 @@ type RunSummary struct {
 	// Per-state time in timebase ticks.
 	StateTicks [int(numStates)]uint64
 	Events     int
+	// Confidence is the record-survival fraction for this run's core
+	// (1.0 on clean traces); low values mean the per-state breakdown
+	// understates the run's real activity.
+	Confidence float64
 }
 
 // Wall returns the run duration.
@@ -124,7 +128,8 @@ func Summarize(tr *Trace) *Summary {
 			continue
 		}
 		rs := RunSummary{Run: run, Core: evs[0].Core, Program: anchor.Program,
-			Start: evs[0].Global, End: evs[len(evs)-1].Global, Events: len(evs)}
+			Start: evs[0].Global, End: evs[len(evs)-1].Global, Events: len(evs),
+			Confidence: tr.Confidence.ForCore(evs[0].Core)}
 		for _, iv := range RunIntervals(tr, run) {
 			rs.StateTicks[iv.State] += iv.Dur()
 			if iv.State == StateFlush {

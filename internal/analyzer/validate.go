@@ -94,9 +94,11 @@ func Validate(tr *Trace) []Issue {
 		}
 	}
 	// Conservation checks are only meaningful when both sides' event
-	// groups were recorded.
+	// groups were recorded and neither side lost records (a crash or
+	// salvage can destroy one side of a handshake that did happen).
 	groups := groupMaskFromMeta(tr.Meta.Groups)
-	if groups&event.GroupMailbox != 0 && groups&event.GroupHost != 0 {
+	if groups&event.GroupMailbox != 0 && groups&event.GroupHost != 0 &&
+		!tr.Truncated && !tr.Confidence.Degraded() {
 		if ppeOutReads > spuOutWrites {
 			report("error", "mailbox conservation violated: PPE read %d outbound values but SPUs wrote %d",
 				ppeOutReads, spuOutWrites)

@@ -28,6 +28,13 @@ type Machine struct {
 	SPUWrap SPUWrapper
 	// HostWrap likewise wraps every Host context (instrumented libspe2).
 	HostWrap func(Host) Host
+
+	// DMAStall, when non-nil, is consulted once per MFC command as it
+	// starts executing and returns extra cycles the command must stall
+	// before touching the interconnect (fault injection). The stall holds
+	// the MFC's in-order execution slot, so it backpressures the whole
+	// command queue exactly as a slow real transfer would.
+	DMAStall func(spe, tag int, now uint64) uint64
 }
 
 // SPUWrapper wraps an SPU context at program start; see Machine.SPUWrap.
@@ -147,6 +154,21 @@ func (m *Machine) spawnHost(name string, fn func(h Host)) {
 			h = m.HostWrap(h)
 		}
 		fn(h)
+	})
+}
+
+// CrashAt schedules a whole-machine crash: at the given cycle the
+// simulation stops dead (Run returns sim.ErrStopped) with every process —
+// SPU programs, MFC transfers, PPE threads — abandoned mid-flight, the
+// model of a hard fault while the workload runs. If everything has
+// already finished by then, the crash is a no-op and Run returns
+// normally. Call before Run.
+func (m *Machine) CrashAt(cycle uint64) {
+	m.eng.SpawnAt(cycle, "fault:kill", func(p *sim.Proc) {
+		e := p.Engine()
+		if e.Live() > 1 { // anything besides this killer still running?
+			e.Stop()
+		}
 	})
 }
 

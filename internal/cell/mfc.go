@@ -131,6 +131,13 @@ func (f *mfc) issue(p *sim.Proc, cmd mfcCmd) {
 	issued := p.Now()
 	f.spe.m.eng.Spawn(fmt.Sprintf("mfc%d:%s", f.spe.idx, cmd.kind), func(dp *sim.Proc) {
 		f.serial.Acquire(dp, 1) // strict in-order execution
+		if st := f.spe.m.DMAStall; st != nil {
+			// Injected stall: holds the serial slot, so later commands
+			// queue behind it.
+			if extra := st(f.spe.idx, cmd.tag, dp.Now()); extra > 0 {
+				dp.Delay(extra)
+			}
+		}
 		switch cmd.kind {
 		case cmdSndsig:
 			// A signal send is a tiny EIB transaction to the target

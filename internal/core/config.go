@@ -46,6 +46,15 @@ type Config struct {
 	// counted as drops in the metadata.
 	WrapMain bool
 
+	// FlushRetryMax bounds how many times a failed flush DMA is retried
+	// before the bufferful is dropped (drop-newest) with exact per-SPE
+	// accounting; WrapMain remains the drop policy for a full main
+	// region. FlushRetryBackoff is the first retry's busy-wait in cycles;
+	// each further retry doubles it. Zero values select the defaults
+	// (3 retries, 256 cycles).
+	FlushRetryMax     int
+	FlushRetryBackoff uint64
+
 	// SPEEventCost and PPEEventCost model the instrumentation cost of
 	// recording one event (timestamp read + buffer write), in cycles.
 	SPEEventCost uint64
@@ -66,15 +75,33 @@ type Config struct {
 // local-store buffer, matching the PDT defaults.
 func DefaultTraceConfig() Config {
 	return Config{
-		Groups:           event.GroupAll,
-		SPEBufferSize:    16 * 1024,
-		DoubleBuffered:   true,
-		FlushTagA:        31,
-		FlushTagB:        30,
-		MainBufferPerSPE: 4 * 1024 * 1024,
-		SPEEventCost:     200,
-		PPEEventCost:     100,
+		Groups:            event.GroupAll,
+		SPEBufferSize:     16 * 1024,
+		DoubleBuffered:    true,
+		FlushTagA:         31,
+		FlushTagB:         30,
+		MainBufferPerSPE:  4 * 1024 * 1024,
+		FlushRetryMax:     3,
+		FlushRetryBackoff: 256,
+		SPEEventCost:      200,
+		PPEEventCost:      100,
 	}
+}
+
+// flushRetryMax and flushRetryBackoff apply the documented defaults for
+// zero-valued configurations (hand-built Configs predating the fields).
+func (c *Config) flushRetryMax() int {
+	if c.FlushRetryMax <= 0 {
+		return 3
+	}
+	return c.FlushRetryMax
+}
+
+func (c *Config) flushRetryBackoff() uint64 {
+	if c.FlushRetryBackoff == 0 {
+		return 256
+	}
+	return c.FlushRetryBackoff
 }
 
 // EventOn reports whether records of the given event type are collected.

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/cell"
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/core/traceio"
+)
+
+// spin is a small SPE program that produces enough records to force
+// several buffer flushes under a tiny trace buffer.
+func spin(spu cell.SPU) uint32 {
+	for i := 0; i < 40; i++ {
+		spu.Get(0, 0, 128, 1)
+		spu.WaitTagAll(1 << 1)
+	}
+	return 0
+}
+
+func TestFlushRetrySucceedsAfterTransientFailure(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.SPEBufferSize = 512 // force many flushes
+	mc := cell.DefaultConfig()
+	mc.MemSize = 16 * cell.MiB
+	m := cell.NewMachine(mc)
+	s := NewSession(m, cfg)
+	// Fail the first two flush attempts; the retry loop must absorb them
+	// without dropping anything.
+	fails := 2
+	s.InjectFlushFailures(func(spe int, now uint64) bool {
+		if fails > 0 {
+			fails--
+			return true
+		}
+		return false
+	})
+	s.Attach()
+	m.RunMain(func(h cell.Host) {
+		h.Wait(h.Run(0, "spin", spin))
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FlushRetries == 0 {
+		t.Fatal("no retries recorded despite injected failures")
+	}
+	if st.FlushFailDrops != 0 || st.Dropped != 0 {
+		t.Fatalf("transient failures dropped records: %+v", st)
+	}
+}
+
+func TestFlushFailureExhaustionDropsExactly(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.SPEBufferSize = 512
+	cfg.FlushRetryMax = 2
+	cfg.FlushRetryBackoff = 64
+	mc := cell.DefaultConfig()
+	mc.MemSize = 16 * cell.MiB
+	m := cell.NewMachine(mc)
+	s := NewSession(m, cfg)
+	// Every flush on SPE 0 fails permanently: all its buffered halves are
+	// dropped with exact accounting.
+	s.InjectFlushFailures(func(spe int, now uint64) bool { return spe == 0 })
+	s.Attach()
+	m.RunMain(func(h cell.Host) {
+		a := h.Run(0, "spin", spin)
+		b := h.Run(1, "spin", spin)
+		h.Wait(a)
+		h.Wait(b)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FlushFailDrops == 0 {
+		t.Fatal("permanent flush failure dropped nothing")
+	}
+	if st.Dropped != st.FlushFailDrops {
+		t.Fatalf("Dropped = %d but FlushFailDrops = %d (no other drop source ran)",
+			st.Dropped, st.FlushFailDrops)
+	}
+	// The drop accounting must balance: produced = landed + dropped.
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := traceio.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	landed := uint64(0)
+	for _, c := range f.Chunks {
+		if c.Core == event.CorePPE {
+			continue
+		}
+		recs, trunc, err := traceio.DecodeChunk(c)
+		if err != nil || trunc {
+			t.Fatalf("decode: err=%v trunc=%v", err, trunc)
+		}
+		landed += uint64(len(recs))
+	}
+	if landed+st.FlushFailDrops != st.SPERecords {
+		t.Fatalf("accounting: %d landed + %d dropped != %d produced",
+			landed, st.FlushFailDrops, st.SPERecords)
+	}
+	// Per-SPE attribution: only SPE 0 lost records, and the trace
+	// metadata carries the same numbers the session reports.
+	var meta0, metaOther uint64
+	for _, d := range f.Meta.Drops {
+		if d.SPE == 0 {
+			meta0 += d.Count
+		} else {
+			metaOther += d.Count
+		}
+	}
+	if meta0 != st.FlushFailDrops || metaOther != 0 {
+		t.Fatalf("metadata drops (spe0=%d other=%d) disagree with stats (%d)",
+			meta0, metaOther, st.FlushFailDrops)
+	}
+}

@@ -36,11 +36,17 @@ type Session struct {
 	// then counting down).
 	nextPPECore uint8
 
+	// failFlush, when non-nil, is consulted before every flush DMA issue
+	// (fault injection); see InjectFlushFailures.
+	failFlush func(spe int, now uint64) bool
+
 	// lifetime stats, exposed for the overhead experiments
-	speEvents   uint64
-	flushes     uint64
-	flushCycles uint64
-	flushBytes  uint64
+	speEvents      uint64
+	flushes        uint64
+	flushCycles    uint64
+	flushBytes     uint64
+	flushRetries   uint64
+	flushFailDrops uint64
 }
 
 // NewSession validates cfg and binds a session to m.
@@ -87,6 +93,14 @@ func (s *Session) Attach() {
 func (s *Session) Detach() {
 	s.m.SPUWrap = nil
 	s.m.HostWrap = nil
+}
+
+// InjectFlushFailures installs a fault hook consulted before every flush
+// DMA issue; returning true fails that attempt. The runtime retries with
+// exponential backoff up to Config.FlushRetryMax, then drops the
+// bufferful with exact per-SPE accounting. Install before the run starts.
+func (s *Session) InjectFlushFailures(hook func(spe int, now uint64) bool) {
+	s.failFlush = hook
 }
 
 // inWindow reports whether the given cycle falls inside the configured
@@ -160,6 +174,11 @@ type Stats struct {
 	FlushCycles uint64
 	FlushBytes  uint64
 	Dropped     uint64
+	// FlushRetries counts flush attempts re-issued after an injected DMA
+	// failure; FlushFailDrops counts records dropped when the retry
+	// budget ran out (a subset of Dropped).
+	FlushRetries   uint64
+	FlushFailDrops uint64
 }
 
 // Stats returns the session counters.
@@ -169,18 +188,32 @@ func (s *Session) Stats() Stats {
 		dropped += d
 	}
 	return Stats{
-		SPERecords:  s.speEvents,
-		PPERecords:  s.ppeCount,
-		Flushes:     s.flushes,
-		FlushCycles: s.flushCycles,
-		FlushBytes:  s.flushBytes,
-		Dropped:     dropped,
+		SPERecords:     s.speEvents,
+		PPERecords:     s.ppeCount,
+		Flushes:        s.flushes,
+		FlushCycles:    s.flushCycles,
+		FlushBytes:     s.flushBytes,
+		Dropped:        dropped,
+		FlushRetries:   s.flushRetries,
+		FlushFailDrops: s.flushFailDrops,
 	}
 }
 
-// WriteTo serializes the trace. Call after Machine.Run returns; every SPE
-// program must have finished (their final flushes happen at program end).
-func (s *Session) WriteTrace(w io.Writer) error {
+// WriteTrace serializes the trace. Call after Machine.Run returns; every
+// SPE program must have finished (their final flushes happen at program
+// end).
+func (s *Session) WriteTrace(w io.Writer) error { return s.writeTrace(w, false) }
+
+// WriteCrashTrace serializes a crash-consistent trace after an aborted
+// run (Machine.Run returned sim.ErrStopped): unfinished programs are
+// allowed, only the bytes their flushes actually landed in main memory
+// are written — records still in local-store buffers or mid-DMA are lost,
+// as they would be on real hardware — and no footer is emitted, exactly
+// the shape a real crash leaves on disk. Parse flags such traces
+// Truncated; traceio.Salvage and `pdt-ta doctor` recover them.
+func (s *Session) WriteCrashTrace(w io.Writer) error { return s.writeTrace(w, true) }
+
+func (s *Session) writeTrace(w io.Writer, crash bool) error {
 	mc := s.m.Config()
 	tw, err := traceio.NewWriter(w, traceio.Header{
 		Version:     traceio.Version,
@@ -231,7 +264,7 @@ func (s *Session) WriteTrace(w io.Writer) error {
 		}
 	}
 	for _, run := range s.runs {
-		if !run.finished {
+		if !run.finished && !crash {
 			return fmt.Errorf("core: SPE %d program %q still running at WriteTo", run.spe, run.name)
 		}
 		data := s.m.Mem()[run.regionEA : run.regionEA+uint64(run.regionUsed)]
@@ -241,6 +274,10 @@ func (s *Session) WriteTrace(w io.Writer) error {
 		if err != nil {
 			return err
 		}
+	}
+	if crash {
+		// No footer: the writer died before it could seal the file.
+		return nil
 	}
 	return tw.Close()
 }

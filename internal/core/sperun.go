@@ -124,6 +124,28 @@ func (r *speRun) flushTag(half int) int {
 	return r.s.cfg.FlushTagB
 }
 
+// flushPermitted consults the session's injected-failure hook before a
+// flush DMA issues. On failure it retries with exponential backoff
+// (busy-waiting on the SPU, as the real runtime would spin re-issuing the
+// command) up to Config.FlushRetryMax attempts. It returns false when the
+// whole retry budget failed; the caller then applies the drop policy.
+func (r *speRun) flushPermitted() bool {
+	hook := r.s.failFlush
+	if hook == nil || !hook(r.spe, r.u.Now()) {
+		return true
+	}
+	backoff := r.s.cfg.flushRetryBackoff()
+	for attempt := 0; attempt < r.s.cfg.flushRetryMax(); attempt++ {
+		r.u.Compute(backoff)
+		backoff *= 2
+		r.s.flushRetries++
+		if !hook(r.spe, r.u.Now()) {
+			return true
+		}
+	}
+	return false
+}
+
 // flush DMAs the active half to the main-memory region. Single-buffered
 // mode waits for the DMA; double-buffered mode issues it asynchronously
 // and only waits when the target half is still in flight from last time.
@@ -159,6 +181,14 @@ func (r *speRun) flush(final bool) {
 			// Main region exhausted: drop this bufferful.
 			r.s.drops[r.spe] += r.recsInHalf
 			r.stoppedFull = true
+			r.used = 0
+			r.recsInHalf = 0
+		} else if !r.flushPermitted() {
+			// Injected flush failure with the retry budget exhausted:
+			// drop-newest — this bufferful is lost and counted exactly,
+			// but the failure is transient, so tracing continues.
+			r.s.drops[r.spe] += r.recsInHalf
+			r.s.flushFailDrops += r.recsInHalf
 			r.used = 0
 			r.recsInHalf = 0
 		} else {

@@ -2,7 +2,8 @@
 // XML metadata blob (session parameters, clock-correlation anchors, drop
 // accounting), a sequence of record chunks (one per core buffer flush
 // region), and a CRC32 footer. Readers tolerate a truncated tail — a trace
-// from a crashed run decodes up to the damage and is flagged Truncated.
+// from a crashed run decodes up to the damage and is flagged Truncated —
+// and Salvage recovers the intact chunks of an arbitrarily damaged file.
 package traceio
 
 import (
@@ -22,7 +23,10 @@ const (
 	Magic       = "PDT1"
 	FooterMagic = "PDTE"
 	ChunkMagic  = 0xC5
-	Version     = 1
+	// Version 2 added a per-chunk CRC32 to the chunk header so damaged
+	// files can be salvaged chunk by chunk; version 1 files (no chunk
+	// CRC) are still read.
+	Version = 2
 )
 
 // NoAnchor marks chunks (PPE buffers) whose timestamps are absolute
@@ -80,6 +84,22 @@ type Chunk struct {
 	Core      uint8  // SPE index or event.CorePPE
 	AnchorIdx uint16 // index into Meta.Anchors, or NoAnchor
 	Data      []byte // encoded records
+	// CRC is the per-chunk checksum stored in the chunk header (version 2
+	// files; zero on version 1 reads). The writer computes it; callers
+	// building chunks by hand can leave it zero.
+	CRC uint32
+}
+
+// ChunkCRC computes the per-chunk checksum stored in version 2 chunk
+// headers: CRC32 (IEEE) over the header fields after the magic (core,
+// anchor index, data length) and the chunk data, so a corrupted header
+// byte is as detectable as corrupted data.
+func ChunkCRC(c Chunk) uint32 {
+	var h [7]byte
+	h[0] = c.Core
+	binary.LittleEndian.PutUint16(h[1:3], c.AnchorIdx)
+	binary.LittleEndian.PutUint32(h[3:7], uint32(len(c.Data)))
+	return crc32.Update(crc32.ChecksumIEEE(h[:]), crc32.IEEETable, c.Data)
 }
 
 // Writer emits a trace file.
@@ -126,11 +146,12 @@ func (w *Writer) WriteMeta(m *Meta) error {
 	return w.write(b)
 }
 
-// WriteChunk writes one record chunk.
+// WriteChunk writes one record chunk, computing its header CRC from Data.
 func (w *Writer) WriteChunk(c Chunk) error {
 	b := []byte{ChunkMagic, c.Core}
 	b = binary.LittleEndian.AppendUint16(b, c.AnchorIdx)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.Data)))
+	b = binary.LittleEndian.AppendUint32(b, ChunkCRC(c))
 	if err := w.write(b); err != nil {
 		return err
 	}
@@ -163,7 +184,34 @@ type File struct {
 var ErrBadMagic = errors.New("traceio: bad magic (not a PDT trace)")
 
 // ErrCRC marks a structurally complete file whose checksum does not match.
+// Parse returns it alongside the fully parsed *File: the structure is
+// intact, only the checksum disagrees, so callers may choose to keep the
+// data (Salvage and the doctor command do; strict callers treat any
+// non-nil error as fatal and discard the file).
 var ErrCRC = errors.New("traceio: CRC mismatch")
+
+// ErrCorrupt marks structural damage (bad chunk framing, unreadable
+// metadata). Errors wrapping it — and ErrCRC / ErrBadMagic — identify
+// input that Salvage may still partially recover; IsCorrupt tests for all
+// three.
+var ErrCorrupt = errors.New("traceio: corrupt trace")
+
+// IsCorrupt reports whether err indicates a damaged trace file that is a
+// candidate for Salvage (as opposed to, say, an I/O error).
+func IsCorrupt(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, ErrCRC) || errors.Is(err, ErrBadMagic)
+}
+
+// headerLen is the fixed file prologue size; chunkHeaderLen depends on the
+// format version (version 2 added the 4-byte chunk CRC).
+const headerLen = 4 + 2 + 1 + 8 + 8
+
+func chunkHeaderLen(version uint16) int {
+	if version >= 2 {
+		return 12
+	}
+	return 8
+}
 
 // Read parses a whole trace file.
 func Read(r io.Reader) (*File, error) {
@@ -174,37 +222,16 @@ func Read(r io.Reader) (*File, error) {
 	return Parse(data)
 }
 
-// Parse parses a trace from memory.
+// Parse parses a trace from memory. On a footer CRC mismatch it returns
+// the structurally complete *File alongside ErrCRC, so callers that can
+// tolerate unverified data need not discard it; every other error returns
+// a nil file.
 func Parse(data []byte) (*File, error) {
-	const headerLen = 4 + 2 + 1 + 8 + 8
-	if len(data) < headerLen || string(data[:4]) != Magic {
-		return nil, ErrBadMagic
+	f, off, err := parseHeaderMeta(data)
+	if err != nil || f.Truncated {
+		return orNil(f, err)
 	}
-	f := &File{}
-	f.Header.Version = binary.LittleEndian.Uint16(data[4:6])
-	if f.Header.Version != Version {
-		return nil, fmt.Errorf("traceio: unsupported version %d", f.Header.Version)
-	}
-	f.Header.NumSPEs = data[6]
-	f.Header.TimebaseDiv = binary.LittleEndian.Uint64(data[7:15])
-	f.Header.ClockHz = binary.LittleEndian.Uint64(data[15:23])
-	off := headerLen
-
-	// Metadata blob.
-	if off+4 > len(data) {
-		f.Truncated = true
-		return f, nil
-	}
-	mlen := int(binary.LittleEndian.Uint32(data[off : off+4]))
-	off += 4
-	if off+mlen > len(data) {
-		f.Truncated = true
-		return f, nil
-	}
-	if err := xml.Unmarshal(data[off:off+mlen], &f.Meta); err != nil {
-		return nil, fmt.Errorf("traceio: metadata: %w", err)
-	}
-	off += mlen
+	chdr := chunkHeaderLen(f.Header.Version)
 
 	// Chunks until footer or truncation.
 	for off < len(data) {
@@ -216,34 +243,79 @@ func Parse(data []byte) (*File, error) {
 			want := binary.LittleEndian.Uint32(data[off+4 : off+8])
 			got := crc32.ChecksumIEEE(data[:off])
 			if got != want {
-				return nil, fmt.Errorf("%w: got %#x want %#x", ErrCRC, got, want)
+				return f, fmt.Errorf("%w: got %#x want %#x", ErrCRC, got, want)
 			}
 			return f, nil
 		}
 		if data[off] != ChunkMagic {
-			return nil, fmt.Errorf("traceio: bad chunk magic %#x at offset %d", data[off], off)
+			return nil, fmt.Errorf("%w: bad chunk magic %#x at offset %d", ErrCorrupt, data[off], off)
 		}
-		if len(data)-off < 8 {
+		if len(data)-off < chdr {
 			f.Truncated = true
 			return f, nil
 		}
-		core := data[off+1]
-		anchorIdx := binary.LittleEndian.Uint16(data[off+2 : off+4])
+		c := Chunk{
+			Core:      data[off+1],
+			AnchorIdx: binary.LittleEndian.Uint16(data[off+2 : off+4]),
+		}
 		clen := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
-		off += 8
+		if chdr == 12 {
+			c.CRC = binary.LittleEndian.Uint32(data[off+8 : off+12])
+		}
+		off += chdr
 		if off+clen > len(data) {
 			f.Truncated = true
 			return f, nil
 		}
-		f.Chunks = append(f.Chunks, Chunk{
-			Core:      core,
-			AnchorIdx: anchorIdx,
-			Data:      data[off : off+clen],
-		})
+		c.Data = data[off : off+clen]
+		f.Chunks = append(f.Chunks, c)
 		off += clen
 	}
 	f.Truncated = true // ran out of bytes without seeing a footer
 	return f, nil
+}
+
+// orNil drops the partial file for errors other than ErrCRC, preserving
+// the strict contract that only checksum failures carry data out.
+func orNil(f *File, err error) (*File, error) {
+	if err != nil && !errors.Is(err, ErrCRC) {
+		return nil, err
+	}
+	return f, err
+}
+
+// parseHeaderMeta parses the fixed header and metadata blob, returning the
+// offset of the first chunk. A truncated prefix sets f.Truncated with no
+// error, mirroring Parse's tolerance for crashed writes.
+func parseHeaderMeta(data []byte) (*File, int, error) {
+	if len(data) < headerLen || string(data[:4]) != Magic {
+		return nil, 0, ErrBadMagic
+	}
+	f := &File{}
+	f.Header.Version = binary.LittleEndian.Uint16(data[4:6])
+	if f.Header.Version == 0 || f.Header.Version > Version {
+		return nil, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, f.Header.Version)
+	}
+	f.Header.NumSPEs = data[6]
+	f.Header.TimebaseDiv = binary.LittleEndian.Uint64(data[7:15])
+	f.Header.ClockHz = binary.LittleEndian.Uint64(data[15:23])
+	off := headerLen
+
+	if off+4 > len(data) {
+		f.Truncated = true
+		return f, off, nil
+	}
+	mlen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	off += 4
+	if off+mlen > len(data) {
+		f.Truncated = true
+		return f, off, nil
+	}
+	if err := xml.Unmarshal(data[off:off+mlen], &f.Meta); err != nil {
+		return nil, 0, fmt.Errorf("%w: metadata: %v", ErrCorrupt, err)
+	}
+	off += mlen
+	return f, off, nil
 }
 
 // DecodeChunk decodes every record in one chunk. A truncated final record

@@ -5,11 +5,16 @@ package harness
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"os"
 
 	"github.com/celltrace/pdt/internal/analyzer"
 	"github.com/celltrace/pdt/internal/cell"
 	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/core/traceio"
+	"github.com/celltrace/pdt/internal/faults"
+	"github.com/celltrace/pdt/internal/sim"
 	"github.com/celltrace/pdt/internal/workloads"
 )
 
@@ -33,6 +38,10 @@ type Spec struct {
 	// many configurations use it to save host time, never correctness
 	// tests).
 	SkipVerify bool
+	// Faults, when non-nil and non-empty, injects the planned faults:
+	// machine crash, flush-DMA stalls and failures, and post-hoc trace
+	// corruption. Damaged traces are loaded through the salvage path.
+	Faults *faults.Plan
 }
 
 // Result is what a run produced.
@@ -43,10 +52,19 @@ type Result struct {
 	Machine *cell.Machine
 	// Stats holds tracing-side counters (zero value when untraced).
 	Stats core.Stats
-	// TraceBytes is the serialized trace (nil when untraced).
+	// TraceBytes is the serialized trace (nil when untraced), after any
+	// planned corruption was applied.
 	TraceBytes []byte
 	// Trace is the loaded trace (nil when untraced).
 	Trace *analyzer.Trace
+	// Crashed reports that an injected kill stopped the simulation early;
+	// TraceBytes then holds a crash-consistent (footerless) trace.
+	Crashed bool
+	// Salvage is the recovery accounting when the trace had to be loaded
+	// through the salvage path (nil for clean traces).
+	Salvage *traceio.SalvageReport
+	// FaultNotes describes the post-hoc corruption that was applied.
+	FaultNotes []string
 }
 
 // Run executes a spec.
@@ -71,6 +89,11 @@ func Run(spec Spec) (*Result, error) {
 	}
 	m := cell.NewMachine(mc)
 
+	plan := spec.Faults
+	if kill, ok := plan.Kill(); ok {
+		m.CrashAt(kill)
+	}
+
 	var session *core.Session
 	if spec.Trace != nil {
 		cfg := *spec.Trace
@@ -78,36 +101,72 @@ func Run(spec Spec) (*Result, error) {
 		cfg.Params = w.Params()
 		session = core.NewSession(m, cfg)
 		session.Attach()
+		if !plan.Empty() {
+			// Stalls target only the DMA tags the tracer flushes on;
+			// workload transfers are left alone.
+			m.DMAStall = func(spe, tag int, now uint64) uint64 {
+				if tag != cfg.FlushTagA && tag != cfg.FlushTagB {
+					return 0
+				}
+				return plan.FlushStall(spe, now)
+			}
+			session.InjectFlushFailures(plan.FlushFail)
+		}
 	}
 	if err := w.Prepare(m); err != nil {
 		return nil, err
 	}
+	crashed := false
 	if err := m.Run(); err != nil {
-		return nil, fmt.Errorf("harness: simulation: %w", err)
+		if _, killed := plan.Kill(); !errors.Is(err, sim.ErrStopped) || !killed {
+			return nil, fmt.Errorf("harness: simulation: %w", err)
+		}
+		crashed = true
 	}
-	if !spec.SkipVerify {
+	if !spec.SkipVerify && !crashed {
 		if err := w.Verify(m); err != nil {
 			return nil, fmt.Errorf("harness: verification: %w", err)
 		}
 	}
-	res := &Result{Cycles: m.Now(), Machine: m}
+	res := &Result{Cycles: m.Now(), Machine: m, Crashed: crashed}
 	if session != nil {
 		res.Stats = session.Stats()
 		var buf bytes.Buffer
-		if err := session.WriteTrace(&buf); err != nil {
-			return nil, err
+		var werr error
+		if crashed {
+			werr = session.WriteCrashTrace(&buf)
+		} else {
+			werr = session.WriteTrace(&buf)
 		}
-		res.TraceBytes = buf.Bytes()
+		if werr != nil {
+			return nil, werr
+		}
+		res.TraceBytes, res.FaultNotes = plan.MangleTrace(buf.Bytes())
 		if spec.TracePath != "" {
-			if err := session.WriteFile(spec.TracePath); err != nil {
+			if err := os.WriteFile(spec.TracePath, res.TraceBytes, 0o644); err != nil {
 				return nil, err
 			}
 		}
-		tr, err := analyzer.Load(bytes.NewReader(res.TraceBytes))
-		if err != nil {
-			return nil, err
+		if crashed || len(res.FaultNotes) > 0 {
+			// The trace is damaged by construction; load it the way
+			// `pdt-ta doctor` would.
+			f, rep, err := traceio.Salvage(res.TraceBytes)
+			if err != nil {
+				return nil, fmt.Errorf("harness: trace unrecoverable: %w", err)
+			}
+			tr, err := analyzer.FromSalvaged(f, rep)
+			if err != nil {
+				return nil, err
+			}
+			res.Trace = tr
+			res.Salvage = rep
+		} else {
+			tr, err := analyzer.Load(bytes.NewReader(res.TraceBytes))
+			if err != nil {
+				return nil, err
+			}
+			res.Trace = tr
 		}
-		res.Trace = tr
 	}
 	return res, nil
 }

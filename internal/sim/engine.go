@@ -94,6 +94,10 @@ func (e *Engine) Now() uint64 { return e.now }
 // process blocks. Only meaningful from inside a process.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Live returns the number of spawned processes that have not finished.
+// Inside a process the count includes the caller.
+func (e *Engine) Live() int { return e.live }
+
 // Proc is a simulation process. All kernel primitives that can block take
 // the Proc of the calling process; calling them from the wrong goroutine
 // corrupts the schedule, so processes must not leak their Proc to other
