@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,9 +40,17 @@ func (p paramList) Set(s string) error {
 	return nil
 }
 
+// exitTimeout is the distinct status for a run killed by -timeout, so
+// scripts can tell a stuck or runaway simulation (3) apart from ordinary
+// failures (1).
+const exitTimeout = 3
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pdt-run:", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(exitTimeout)
+		}
 		os.Exit(1)
 	}
 }
@@ -63,6 +72,7 @@ func run(args []string, out io.Writer) error {
 		winEnd     = fs.Uint64("windowend", 0, "record only events before this cycle (0 = open)")
 		untraced   = fs.Bool("untraced", false, "run without tracing (baseline timing)")
 		faultSpec  = fs.String("faults", "", "fault injection spec, e.g. kill:250000,stall:0:5000:4000,corrupt:rand:rand (see internal/faults)")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (exit status 3)")
 	)
 	fs.Var(params, "param", "workload parameter key=value (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -131,7 +141,13 @@ func run(args []string, out io.Writer) error {
 		spec.TracePath = ""
 	}
 
-	res, err := harness.Run(spec)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := harness.RunContext(ctx, spec)
 	if err != nil {
 		if traceio.IsCorrupt(err) || errors.Is(err, traceio.ErrUnsalvageable) {
 			return fmt.Errorf("%v — try `pdt-ta doctor %s` on the written trace", err, *output)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -132,5 +134,20 @@ func TestRunWithWindow(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "records") {
 		t.Fatalf("output: %s", out.String())
+	}
+}
+
+// TestTimeoutFlag: a microscopic -timeout aborts the simulation with
+// context.DeadlineExceeded, the error main maps to exit status 3.
+func TestTimeoutFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-workload", "julia",
+		"-param", "w=64", "-param", "h=32", "-param", "maxiter=32",
+		"-o", filepath.Join(t.TempDir(), "t.pdt"),
+		"-timeout", "1ns",
+	}, &out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
 	}
 }

@@ -19,6 +19,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,17 +30,25 @@ import (
 	"github.com/celltrace/pdt/internal/core/traceio"
 )
 
+// exitTimeout is the distinct status for a run killed by -timeout, so
+// scripts can tell "analysis hung or was too slow" (3) apart from
+// ordinary failures (1).
+const exitTimeout = 3
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pdt-ta:", err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			os.Exit(exitTimeout)
+		}
 		os.Exit(1)
 	}
 }
 
 // loadFriendly loads a trace, pointing the user at `pdt-ta doctor` when
 // the file is damaged rather than dumping a raw parse error.
-func loadFriendly(path string) (*analyzer.Trace, error) {
-	tr, err := analyzer.LoadFile(path)
+func loadFriendly(ctx context.Context, path string) (*analyzer.Trace, error) {
+	tr, err := analyzer.LoadFileContext(ctx, path, analyzer.Limits{})
 	if err != nil && traceio.IsCorrupt(err) {
 		return nil, fmt.Errorf("%s looks damaged (%v) — try `pdt-ta doctor %s` to recover what survives", path, err, path)
 	}
@@ -61,8 +71,15 @@ func run(args []string, out io.Writer) error {
 	svgOut := fs.String("o", "", "output path (svg; empty = stdout)")
 	maxEvents := fs.Int("n", 0, "max events to print (events; 0 = all)")
 	gapTicks := fs.Int("min", 0, "minimum gap ticks (gaps; 0 = auto threshold)")
+	timeout := fs.Duration("timeout", 0, "abort the whole command after this wall-clock duration (exit status 3)")
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	wantArgs := 1
 	if cmd == "compare" {
@@ -72,7 +89,7 @@ func run(args []string, out io.Writer) error {
 		return usage()
 	}
 	if cmd == "doctor" {
-		rep, err := analyzer.DoctorFile(fs.Arg(0))
+		rep, err := analyzer.DoctorFileContext(ctx, fs.Arg(0), analyzer.Limits{})
 		if err != nil {
 			return err
 		}
@@ -82,14 +99,14 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	tr, err := loadFriendly(fs.Arg(0))
+	tr, err := loadFriendly(ctx, fs.Arg(0))
 	if err != nil {
 		return err
 	}
 
 	switch cmd {
 	case "compare":
-		tr2, err := loadFriendly(fs.Arg(1))
+		tr2, err := loadFriendly(ctx, fs.Arg(1))
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -241,5 +243,21 @@ func TestTags(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "bytes") {
 		t.Fatalf("tags output:\n%s", out.String())
+	}
+}
+
+// TestTimeoutFlag: a microscopic -timeout aborts the analysis with
+// context.DeadlineExceeded, the error main maps to exit status 3.
+func TestTimeoutFlag(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	err := run([]string{"summary", "-timeout", "1ns", path}, &out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	// doctor shares the deadline plumbing through the salvage path.
+	err = run([]string{"doctor", "-timeout", "1ns", path}, &out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("doctor: want context.DeadlineExceeded, got %v", err)
 	}
 }

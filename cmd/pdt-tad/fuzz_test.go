@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/core/traceio"
+)
+
+// buildValidTrace produces a structurally valid trace image for mutation
+// (the cmd-level sibling of traceio's buildValid).
+func buildValidTrace(t *testing.T) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	w, err := traceio.NewWriter(&out, traceio.Header{
+		Version: traceio.Version, NumSPEs: 8, TimebaseDiv: 40, ClockHz: 3_200_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMeta(&traceio.Meta{
+		Workload: "fuzz",
+		Anchors:  []traceio.Anchor{{SPE: 0, Timebase: 100, Loaded: 0xFFFFFFFF, Program: "p"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var data []byte
+	for i := 0; i < 40; i++ {
+		r := event.Record{ID: event.SPEMFCGet, Core: 0, Flags: event.FlagDecrTime,
+			Time: uint64(i * 10), Args: []uint64{0, 64, 128, uint64(i % 16)}}
+		data, err = r.AppendTo(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteChunk(traceio.Chunk{Core: 0, AnchorIdx: 0, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// FuzzTADHandler drives the full handler stack with mutated trace uploads
+// (flip, insert, delete, truncate — the FuzzSalvage operation set): any
+// status is acceptable except a 500, which would mean a panic or internal
+// failure escaped the analyzer's hardening; error responses must carry a
+// JSON body.
+func FuzzTADHandler(f *testing.F) {
+	f.Add(uint32(0), uint8(0), uint8(0x5A), uint16(0))
+	f.Add(uint32(30), uint8(1), uint8(0xC5), uint16(0)) // insert a fake chunk magic
+	f.Add(uint32(60), uint8(2), uint8(0), uint16(0))    // delete inside meta
+	f.Add(uint32(100), uint8(0), uint8(0xFF), uint16(50))
+	f.Add(uint32(4), uint8(0), uint8(1), uint16(0)) // version field flip
+	f.Add(uint32(0), uint8(3), uint8(0), uint16(9)) // footer-only truncation
+
+	f.Fuzz(func(t *testing.T, pos uint32, op, val uint8, cut uint16) {
+		valid := buildValidTrace(t)
+		data := append([]byte(nil), valid...)
+		p := int(pos) % len(data)
+		switch op % 4 {
+		case 0: // flip
+			data[p] ^= val | 1
+		case 1: // insert
+			data = append(data[:p], append([]byte{val}, data[p:]...)...)
+		case 2: // delete
+			data = append(data[:p], data[p+1:]...)
+		case 3: // truncate from the end
+			n := int(cut) % (len(data) + 1)
+			data = data[:len(data)-n]
+		}
+		if int(cut) > 0 && op%4 != 3 {
+			n := int(cut) % (len(data) + 1)
+			data = data[:len(data)-n]
+		}
+
+		s := newServer(defaultConfig(), quietLogger())
+		h := s.handler()
+		for _, path := range []string{"/v1/summary", "/v1/profile", "/v1/doctor"} {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(data))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			res := rec.Result()
+			if res.StatusCode == http.StatusInternalServerError {
+				t.Fatalf("%s: mutated trace produced a 500 (escaped panic?): %s",
+					path, rec.Body.String())
+			}
+			if res.StatusCode != http.StatusOK && res.StatusCode != http.StatusBadRequest &&
+				res.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("%s: unexpected status %d", path, res.StatusCode)
+			}
+			var v any
+			if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+				t.Fatalf("%s: status %d with non-JSON body %q",
+					path, res.StatusCode, rec.Body.String())
+			}
+		}
+	})
+}

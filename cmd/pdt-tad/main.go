@@ -1,0 +1,126 @@
+// pdt-tad is the trace-analysis daemon: a long-running HTTP service that
+// accepts PDT trace uploads and returns analysis JSON, hardened for
+// unattended operation — per-request deadlines, body and resource limits,
+// bounded concurrency with load shedding, panic containment, health
+// probes, and graceful drain on SIGTERM.
+//
+// Endpoints:
+//
+//	POST /v1/summary  trace body -> summary JSON (pdt-ta json)
+//	POST /v1/profile  trace body -> interval profile JSON
+//	POST /v1/doctor   trace body -> salvage/recovery report JSON
+//	GET  /healthz     liveness probe
+//	GET  /readyz      readiness probe (503 while draining)
+//
+// Usage:
+//
+//	pdt-tad -addr 127.0.0.1:8329 -request-timeout 30s -max-body 64MiB
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "pdt-tad:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until the listener fails or a
+// shutdown signal drains it. ready, when non-nil, receives the bound
+// address once the listener is up (tests use it; main passes nil and
+// reads the address from the log line on stdout).
+func run(args []string, stdout io.Writer, logw io.Writer, ready chan<- net.Addr) error {
+	def := defaultConfig()
+	fs := flag.NewFlagSet("pdt-tad", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", def.addr, "listen address (host:port; port 0 picks a free port)")
+		reqTimeout = fs.Duration("request-timeout", def.requestTimeout, "per-request analysis deadline (0 = none)")
+		maxBody    = fs.Int64("max-body", def.maxBody, "max request body bytes (413 beyond)")
+		maxConc    = fs.Int("max-concurrent", def.maxConcurrent, "analyses running at once")
+		maxQueue   = fs.Int("max-queue", def.maxQueue, "requests allowed to wait for a slot (429 beyond)")
+		drain      = fs.Duration("drain", def.drain, "graceful shutdown budget after SIGTERM/SIGINT")
+		maxChunk   = fs.Int("max-chunk-bytes", def.limits.MaxChunkBytes, "max declared chunk payload bytes")
+		maxMeta    = fs.Int("max-meta-bytes", def.limits.MaxMetaBytes, "max declared metadata bytes")
+		maxRecords = fs.Int("max-records", def.limits.MaxRecords, "max decoded records per trace")
+		maxDecode  = fs.Int64("max-decode-bytes", def.limits.MaxDecodeBytes, "decode memory budget in bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := def
+	cfg.addr = *addr
+	cfg.requestTimeout = *reqTimeout
+	cfg.maxBody = *maxBody
+	cfg.maxConcurrent = *maxConc
+	cfg.maxQueue = *maxQueue
+	cfg.drain = *drain
+	cfg.limits.MaxChunkBytes = *maxChunk
+	cfg.limits.MaxMetaBytes = *maxMeta
+	cfg.limits.MaxRecords = *maxRecords
+	cfg.limits.MaxDecodeBytes = *maxDecode
+	// The body cap is the outer wall; keep the analyzer's file limit in
+	// step so admission control agrees with the HTTP layer.
+	cfg.limits.MaxFileBytes = cfg.maxBody
+
+	log := slog.New(slog.NewJSONHandler(logw, nil))
+	srv := newServer(cfg, log)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	// The smoke test and operators both scrape this line for the port.
+	fmt.Fprintf(stdout, "pdt-tad: listening on %s\n", ln.Addr())
+	log.Info("listening", "addr", ln.Addr().String(),
+		"max_concurrent", cfg.maxConcurrent, "max_queue", cfg.maxQueue,
+		"max_body", cfg.maxBody, "request_timeout", cfg.requestTimeout.String())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	hs := &http.Server{
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Drain: flip readiness first so probes stop sending work, then let
+	// in-flight requests finish within the budget.
+	srv.draining.Store(true)
+	log.Info("draining", "budget", cfg.drain.String())
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		_ = hs.Close()
+		return fmt.Errorf("drain exceeded %s: %w", cfg.drain, err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Info("stopped")
+	return nil
+}

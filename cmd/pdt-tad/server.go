@@ -1,0 +1,289 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+)
+
+// config collects the service knobs; every one maps to a flag in main.
+type config struct {
+	addr string
+	// requestTimeout bounds one analysis end to end (read + decode +
+	// render); expiry maps to 504.
+	requestTimeout time.Duration
+	// maxBody caps the request body via http.MaxBytesReader; larger
+	// uploads are rejected with 413 before the analyzer sees them.
+	maxBody int64
+	// maxConcurrent analyses run at once; up to maxQueue more wait their
+	// turn and anything beyond that is shed with 429.
+	maxConcurrent int
+	maxQueue      int
+	// drain bounds the graceful shutdown after SIGTERM/SIGINT.
+	drain time.Duration
+	// limits is the admission control handed to the analyzer.
+	limits analyzer.Limits
+}
+
+func defaultConfig() config {
+	return config{
+		addr:           "127.0.0.1:8329",
+		requestTimeout: 30 * time.Second,
+		maxBody:        64 << 20,
+		maxConcurrent:  4,
+		maxQueue:       8,
+		drain:          20 * time.Second,
+		limits:         analyzer.DefaultServiceLimits(),
+	}
+}
+
+// server is the trace-analysis daemon: a handler stack over the analyzer
+// with admission control, load shedding, and health/readiness probes.
+type server struct {
+	cfg config
+	log *slog.Logger
+	// slots is the concurrency semaphore; queue bounds how many requests
+	// may block waiting for a slot.
+	slots    chan struct{}
+	queue    chan struct{}
+	draining atomic.Bool
+	// analysisHook, when non-nil, runs inside each analysis handler after
+	// admission (test seam for panic and saturation tests).
+	analysisHook func()
+}
+
+func newServer(cfg config, log *slog.Logger) *server {
+	if cfg.maxConcurrent < 1 {
+		cfg.maxConcurrent = 1
+	}
+	if cfg.maxQueue < 0 {
+		cfg.maxQueue = 0
+	}
+	return &server{
+		cfg:   cfg,
+		log:   log,
+		slots: make(chan struct{}, cfg.maxConcurrent),
+		queue: make(chan struct{}, cfg.maxQueue),
+	}
+}
+
+// errShed signals that both the semaphore and the wait queue are full.
+var errShed = errors.New("pdt-tad: saturated, request shed")
+
+// admit acquires an analysis slot, waiting in the bounded queue when all
+// slots are busy. It returns the release func, or errShed when the queue
+// is full too, or ctx.Err() when the deadline fires while queued.
+func (s *server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, nil
+	default:
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, errShed
+	}
+	defer func() { <-s.queue }()
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// handler builds the full middleware stack.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("POST /v1/summary", s.analysis("summary", renderSummary))
+	mux.Handle("POST /v1/profile", s.analysis("profile", renderProfile))
+	mux.Handle("POST /v1/doctor", s.analysis("doctor", renderDoctor))
+	return s.logRequests(s.recoverPanics(mux))
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports 503 once a drain has begun so load balancers stop
+// routing new work here while in-flight requests finish.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// renderFunc turns an uploaded trace image into a JSON body.
+type renderFunc func(ctx context.Context, data []byte, lim analyzer.Limits, w io.Writer) error
+
+func renderSummary(ctx context.Context, data []byte, lim analyzer.Limits, w io.Writer) error {
+	tr, err := analyzer.LoadContext(ctx, bytes.NewReader(data), lim)
+	if err != nil {
+		return err
+	}
+	analyzer.Validate(tr)
+	return analyzer.WriteJSON(tr, analyzer.Summarize(tr), w)
+}
+
+func renderProfile(ctx context.Context, data []byte, lim analyzer.Limits, w io.Writer) error {
+	tr, err := analyzer.LoadContext(ctx, bytes.NewReader(data), lim)
+	if err != nil {
+		return err
+	}
+	return analyzer.WriteProfileJSON(tr, w)
+}
+
+// renderDoctor never treats damage as an error — that is the point of the
+// endpoint — but limit violations and deadlines still abort.
+func renderDoctor(ctx context.Context, data []byte, lim analyzer.Limits, w io.Writer) error {
+	d, err := analyzer.DoctorDataContext(ctx, data, lim)
+	if err != nil {
+		return err
+	}
+	return d.WriteJSON(w)
+}
+
+// analysis wraps a renderFunc with the whole protection stack: request
+// deadline, admission control, body cap, and error-to-status mapping.
+// The JSON body is rendered into a buffer first so a mid-render failure
+// still produces a clean error response instead of truncated output.
+func (s *server) analysis(name string, render renderFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if s.cfg.requestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.requestTimeout)
+			defer cancel()
+		}
+		release, err := s.admit(ctx)
+		if err != nil {
+			if errors.Is(err, errShed) {
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusTooManyRequests, err)
+				return
+			}
+			s.writeError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("queued past the request deadline: %w", err))
+			return
+		}
+		defer release()
+		if s.analysisHook != nil {
+			s.analysisHook()
+		}
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				s.writeError(w, http.StatusRequestEntityTooLarge, err)
+				return
+			}
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+			return
+		}
+		var buf bytes.Buffer
+		if err := render(ctx, data, s.cfg.limits, &buf); err != nil {
+			switch {
+			case errors.Is(err, analyzer.ErrLimitExceeded):
+				s.writeError(w, http.StatusRequestEntityTooLarge, err)
+			case errors.Is(err, context.DeadlineExceeded):
+				s.writeError(w, http.StatusGatewayTimeout, err)
+			case errors.Is(err, context.Canceled):
+				// Client went away; nothing useful to write.
+			default:
+				s.writeError(w, http.StatusBadRequest,
+					fmt.Errorf("%s: %w", name, err))
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		_, _ = w.Write(buf.Bytes())
+	})
+}
+
+// writeError emits a small JSON error document.
+func (s *server) writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// recoverPanics converts handler panics into 500s so one hostile trace
+// cannot take the daemon down.
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				s.log.Error("handler panic",
+					"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(v))
+				s.writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal error"))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusWriter captures the status and size for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// logRequests emits one structured line per request.
+func (s *server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes_in", r.ContentLength,
+			"bytes_out", sw.bytes,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr)
+	})
+}

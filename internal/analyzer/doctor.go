@@ -1,6 +1,9 @@
 package analyzer
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -34,32 +37,117 @@ func (d *DoctorReport) Recoverable() bool {
 
 // DoctorFile runs the recovery pipeline on a trace file on disk.
 func DoctorFile(path string) (*DoctorReport, error) {
+	return DoctorFileContext(context.Background(), path, Limits{})
+}
+
+// DoctorFileContext is DoctorFile under cancellation and admission
+// control.
+func DoctorFileContext(ctx context.Context, path string, lim Limits) (*DoctorReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return DoctorData(data), nil
+	return DoctorDataContext(ctx, data, lim)
 }
 
 // DoctorData salvages a raw trace image, loads the survivors leniently,
 // and validates the result. The report is always non-nil; inspect
 // Recoverable for the verdict.
 func DoctorData(data []byte) *DoctorReport {
+	d, _ := DoctorDataContext(context.Background(), data, Limits{})
+	return d
+}
+
+// DoctorDataContext is DoctorData under cancellation and admission
+// control; unlike recoverable damage, a cancelled context or an input
+// over the limits is a hard error (nil report).
+func DoctorDataContext(ctx context.Context, data []byte, lim Limits) (*DoctorReport, error) {
+	if lim.MaxFileBytes > 0 && int64(len(data)) > lim.MaxFileBytes {
+		return nil, fmt.Errorf("%w: doctor input %d bytes over limit %d",
+			ErrLimitExceeded, len(data), lim.MaxFileBytes)
+	}
 	d := &DoctorReport{}
-	f, rep, err := traceio.Salvage(data)
+	f, rep, err := traceio.SalvageContext(ctx, data)
 	d.Salvage = rep
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		d.SalvageErr = err
-		return d
+		return d, nil
 	}
-	tr, err := FromSalvaged(f, rep)
+	tr, err := FromSalvagedContext(ctx, f, rep, lim)
 	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, ErrLimitExceeded) {
+			return nil, err
+		}
 		d.LoadErr = err
-		return d
+		return d, nil
 	}
 	d.Trace = tr
 	d.Validation = Validate(tr)
-	return d
+	return d, nil
+}
+
+// Verdict returns the one-word assessment Write prints: UNREADABLE,
+// UNRECOVERABLE, CLEAN, or RECOVERED.
+func (d *DoctorReport) Verdict() string {
+	switch {
+	case d.Salvage == nil:
+		return "UNREADABLE"
+	case d.SalvageErr != nil || d.LoadErr != nil:
+		return "UNRECOVERABLE"
+	}
+	errs := 0
+	for _, is := range d.Validation {
+		if is.Severity == "error" {
+			errs++
+		}
+	}
+	if d.Salvage.Clean() && errs == 0 {
+		return "CLEAN"
+	}
+	return "RECOVERED"
+}
+
+// jsonDoctor is the machine-readable shape of a DoctorReport, served by
+// pdt-tad's /v1/doctor endpoint.
+type jsonDoctor struct {
+	Verdict     string                 `json:"verdict"`
+	Recoverable bool                   `json:"recoverable"`
+	Salvage     *traceio.SalvageReport `json:"salvage,omitempty"`
+	SalvageErr  string                 `json:"salvageError,omitempty"`
+	LoadErr     string                 `json:"loadError,omitempty"`
+	Events      int                    `json:"events,omitempty"`
+	Runs        int                    `json:"runs,omitempty"`
+	Confidence  float64                `json:"confidence,omitempty"`
+	Validation  []string               `json:"validation,omitempty"`
+}
+
+// WriteJSON renders the doctor report as JSON.
+func (d *DoctorReport) WriteJSON(w io.Writer) error {
+	out := jsonDoctor{
+		Verdict:     d.Verdict(),
+		Recoverable: d.Recoverable(),
+		Salvage:     d.Salvage,
+	}
+	if d.SalvageErr != nil {
+		out.SalvageErr = d.SalvageErr.Error()
+	}
+	if d.LoadErr != nil {
+		out.LoadErr = d.LoadErr.Error()
+	}
+	if d.Trace != nil {
+		out.Events = len(d.Trace.Events)
+		out.Runs = len(d.Trace.Meta.Anchors)
+		out.Confidence = d.Trace.Confidence.Overall
+	}
+	for _, is := range d.Validation {
+		out.Validation = append(out.Validation, is.String())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
 }
 
 // Write renders the doctor report for humans.

@@ -111,6 +111,46 @@ func WriteJSON(tr *Trace, s *Summary, w io.Writer) error {
 	return enc.Encode(&out)
 }
 
+// jsonProfilePair is the JSON shape of one PairProfile row.
+type jsonProfilePair struct {
+	Interval   string  `json:"interval"`
+	Count      int     `json:"count"`
+	TotalTicks uint64  `json:"totalTicks"`
+	MeanTicks  float64 `json:"meanTicks"`
+	MaxTicks   uint64  `json:"maxTicks"`
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+// WriteProfileJSON exports the interval profile (most expensive pair
+// first, like WriteProfile) as JSON. Confidence appears only on degraded
+// traces, mirroring the human-readable table.
+func WriteProfileJSON(tr *Trace, w io.Writer) error {
+	degraded := tr.Confidence.Degraded()
+	out := struct {
+		Intervals []jsonProfilePair `json:"intervals"`
+	}{Intervals: []jsonProfilePair{}}
+	for _, p := range Profile(tr) {
+		name := p.Enter.String()
+		if n := len(name); n > 6 && name[n-6:] == "_ENTER" {
+			name = name[:n-6]
+		}
+		jp := jsonProfilePair{
+			Interval:   name,
+			Count:      p.Count,
+			TotalTicks: p.Ticks.Sum,
+			MeanTicks:  p.Ticks.Mean(),
+			MaxTicks:   p.Ticks.Max,
+		}
+		if degraded {
+			jp.Confidence = p.Confidence
+		}
+		out.Intervals = append(out.Intervals, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
 // Report renders the human-readable summary the pdt-ta CLI prints.
 func Report(tr *Trace, s *Summary, w io.Writer) {
 	fmt.Fprintf(w, "workload: %s\n", s.Workload)

@@ -8,16 +8,49 @@
 package analyzer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/celltrace/pdt/internal/core/event"
 	"github.com/celltrace/pdt/internal/core/traceio"
 )
+
+// Limits re-exports the trace-format admission-control knobs: the
+// analyzer enforces the record-count and decode-memory budgets that the
+// byte-level parser cannot, and passes the rest down to traceio. The
+// zero value disables all admission control.
+type Limits = traceio.Limits
+
+// ErrLimitExceeded is the typed admission-control failure; errors.Is
+// matches it across the analyzer and traceio layers.
+var ErrLimitExceeded = traceio.ErrLimitExceeded
+
+// DefaultServiceLimits mirrors traceio.DefaultServiceLimits for callers
+// that only import the analyzer.
+func DefaultServiceLimits() Limits { return traceio.DefaultServiceLimits() }
+
+// eventFootprint is the budgeted in-core cost of one decoded Event in
+// bytes: the struct itself (~88 bytes) plus its share of argument backing
+// arrays and the per-core/per-run index copies. MaxDecodeBytes divided by
+// this gives the record budget the decode stage enforces.
+const eventFootprint = 128
+
+// errDecodePanic marks a chunk whose decode panicked; the per-worker
+// recovery converts it into a per-chunk Issue so one poisoned chunk
+// cannot take down the whole load (or, in a service, the process).
+var errDecodePanic = errors.New("analyzer: panic while decoding chunk")
+
+// decodePanicHook, when non-nil, runs at the top of every chunk decode.
+// Tests use it to inject panics and prove the recovery path; it is never
+// set in production code.
+var decodePanicHook func(chunk int)
 
 // Event is one trace record with its reconstructed global time (in
 // timebase ticks) and a stable sequence number.
@@ -64,21 +97,36 @@ type Trace struct {
 
 // LoadFile loads a trace from disk.
 func LoadFile(path string) (*Trace, error) {
+	return LoadFileContext(context.Background(), path, Limits{})
+}
+
+// LoadFileContext loads a trace from disk under cancellation and
+// admission control.
+func LoadFileContext(ctx context.Context, path string, lim Limits) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadContext(ctx, f, lim)
 }
 
 // Load parses, decodes and merges a trace.
 func Load(r io.Reader) (*Trace, error) {
-	f, err := traceio.Read(r)
+	return LoadContext(context.Background(), r, Limits{})
+}
+
+// LoadContext parses, decodes and merges a trace under cancellation and
+// admission control: oversized inputs, metadata blobs, declared chunk
+// lengths, record counts, and decode-memory budgets are all rejected with
+// ErrLimitExceeded, and a cancelled or expired ctx stops the pipeline
+// promptly with ctx.Err().
+func LoadContext(ctx context.Context, r io.Reader, lim Limits) (*Trace, error) {
+	f, err := traceio.ReadContext(ctx, r, lim)
 	if err != nil {
 		return nil, err
 	}
-	return FromFile(f)
+	return FromFileContext(ctx, f, lim)
 }
 
 // FromFile merges an already-parsed trace file through the parallel
@@ -90,7 +138,15 @@ func Load(r io.Reader) (*Trace, error) {
 // time, ties broken by chunk position in the file, then record position
 // within the chunk.
 func FromFile(f *traceio.File) (*Trace, error) {
-	return fromFile(f, runtime.GOMAXPROCS(0), false)
+	return fromFile(context.Background(), f, runtime.GOMAXPROCS(0), false, Limits{})
+}
+
+// FromFileContext is FromFile under cancellation and admission control.
+// Cancellation propagates to every decode worker and the merge loop; when
+// it fires, all pipeline goroutines are joined before the call returns,
+// so a cancelled load never leaks goroutines or leaves channels open.
+func FromFileContext(ctx context.Context, f *traceio.File, lim Limits) (*Trace, error) {
+	return fromFile(ctx, f, runtime.GOMAXPROCS(0), false, lim)
 }
 
 // newTrace builds the Trace shell shared by both load paths: header,
@@ -126,11 +182,51 @@ type chunkResult struct {
 	err     error
 }
 
+// recordBudget folds the record-count and decode-memory limits into one
+// cumulative cap on decoded records (0 = unlimited).
+func recordBudget(lim Limits) int64 {
+	budget := int64(0)
+	if lim.MaxRecords > 0 {
+		budget = int64(lim.MaxRecords)
+	}
+	if lim.MaxDecodeBytes > 0 {
+		if b := lim.MaxDecodeBytes / eventFootprint; budget == 0 || b < budget {
+			budget = b
+		}
+	}
+	return budget
+}
+
+// admitChunks is the pre-decode admission check: every chunk's actual
+// data size against MaxChunkBytes (hand-assembled Files bypass Parse, so
+// the parser's check alone is not enough), and the cheap whole-file
+// record upper bound against the combined record budget.
+func admitChunks(f *traceio.File, lim Limits) error {
+	if lim.Unlimited() {
+		return nil
+	}
+	for _, c := range f.Chunks {
+		if lim.MaxChunkBytes > 0 && len(c.Data) > lim.MaxChunkBytes {
+			return fmt.Errorf("%w: chunk for core %d holds %d bytes, limit %d",
+				ErrLimitExceeded, c.Core, len(c.Data), lim.MaxChunkBytes)
+		}
+	}
+	return nil
+}
+
 // fromFile runs the pipeline with a bounded number of decode workers. In
 // lenient mode (salvaged files), chunk decode errors and unresolvable
 // anchors become Issues on the trace instead of failing the load, and
-// whatever records did decode are kept.
-func fromFile(f *traceio.File, workers int, lenient bool) (*Trace, error) {
+// whatever records did decode are kept. Cancellation and admission
+// failures are never lenient: both stop the load with a typed error after
+// every worker has been joined.
+func fromFile(ctx context.Context, f *traceio.File, workers int, lenient bool, lim Limits) (*Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := admitChunks(f, lim); err != nil {
+		return nil, err
+	}
 	tr := newTrace(f)
 	n := len(f.Chunks)
 	if n == 0 {
@@ -145,10 +241,18 @@ func fromFile(f *traceio.File, workers int, lenient bool) (*Trace, error) {
 		workers = 1
 	}
 
+	// decoded counts records cumulatively across workers so the combined
+	// record/memory budget trips mid-decode, not after the fact.
+	var decoded atomic.Int64
+	budget := recordBudget(lim)
+
 	results := make([]chunkResult, n)
 	if workers == 1 {
 		for i := range f.Chunks {
-			results[i] = decodeChunkEvents(f, i, lenient)
+			if ctx.Err() != nil {
+				break
+			}
+			results[i] = decodeChunkEvents(ctx, f, i, lenient, lim, &decoded, budget)
 		}
 	} else {
 		idx := make(chan int)
@@ -158,25 +262,52 @@ func fromFile(f *traceio.File, workers int, lenient bool) (*Trace, error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i] = decodeChunkEvents(f, i, lenient)
+					if ctx.Err() != nil {
+						// Drain remaining indexes without decoding so the
+						// feeder never blocks and the pool winds down fast.
+						continue
+					}
+					results[i] = decodeChunkEvents(ctx, f, i, lenient, lim, &decoded, budget)
 				}
 			}()
 		}
+	feed:
 		for i := 0; i < n; i++ {
-			idx <- i
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(idx)
 		wg.Wait()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Aggregate in chunk order so issues, string interning and the error
-	// returned are deterministic and identical to the serial path.
+	// returned are deterministic and identical to the serial path. Panics
+	// recovered in a worker become per-chunk issues (the chunk's records
+	// are lost to the unwind); admission failures abort even lenient
+	// loads.
 	total := 0
 	streams := make([][]Event, n)
 	for i := range results {
 		r := &results[i]
 		if r.err != nil {
-			return nil, r.err
+			switch {
+			case errors.Is(r.err, errDecodePanic):
+				tr.Issues = append(tr.Issues, Issue{"error", r.err.Error()})
+				continue
+			case errors.Is(r.err, ErrLimitExceeded), errors.Is(r.err, context.Canceled),
+				errors.Is(r.err, context.DeadlineExceeded), !lenient:
+				return nil, r.err
+			default:
+				// Lenient decode damage was already folded into r.issues
+				// by the worker; r.err is only set on hard failures.
+				return nil, r.err
+			}
 		}
 		tr.Issues = append(tr.Issues, r.issues...)
 		for _, sd := range r.strings {
@@ -185,7 +316,11 @@ func fromFile(f *traceio.File, workers int, lenient bool) (*Trace, error) {
 		streams[i] = r.events
 		total += len(r.events)
 	}
-	tr.Events = mergeStreams(streams, total)
+	var err error
+	tr.Events, err = mergeStreams(ctx, streams, total)
+	if err != nil {
+		return nil, err
+	}
 	for i := range tr.Events {
 		tr.Events[i].Seq = i
 	}
@@ -200,11 +335,27 @@ func fromFile(f *traceio.File, workers int, lenient bool) (*Trace, error) {
 // source, and the rare unordered one (none of our writers produce them,
 // but foreign traces may) is stable-sorted here, which preserves exact
 // equivalence with a global stable sort.
-func decodeChunkEvents(f *traceio.File, i int, lenient bool) chunkResult {
+//
+// A panic anywhere in the decode is recovered and converted into a
+// per-chunk errDecodePanic, so one poisoned chunk degrades into a trace
+// Issue instead of crashing the worker pool. decoded accumulates the
+// cross-chunk record count against budget (0 = unlimited).
+func decodeChunkEvents(ctx context.Context, f *traceio.File, i int, lenient bool, lim Limits, decoded *atomic.Int64, budget int64) (res chunkResult) {
 	c := f.Chunks[i]
-	var res chunkResult
-	recs, trunc, err := traceio.DecodeChunk(c)
+	defer func() {
+		if r := recover(); r != nil {
+			res = chunkResult{err: fmt.Errorf("%w: core %d chunk %d: %v", errDecodePanic, c.Core, i, r)}
+		}
+	}()
+	if decodePanicHook != nil {
+		decodePanicHook(i)
+	}
+	recs, trunc, err := traceio.DecodeChunkContext(ctx, c, lim)
 	if err != nil {
+		if errors.Is(err, ErrLimitExceeded) || ctx.Err() != nil {
+			res.err = err
+			return res
+		}
 		if !lenient {
 			res.err = err
 			return res
@@ -214,6 +365,13 @@ func decodeChunkEvents(f *traceio.File, i int, lenient bool) chunkResult {
 		res.issues = append(res.issues,
 			Issue{"error", fmt.Sprintf("chunk for core %d: decode stopped after %d records: %v",
 				c.Core, len(recs), err)})
+	}
+	if budget > 0 {
+		if n := decoded.Add(int64(len(recs))); n > budget {
+			res = chunkResult{err: fmt.Errorf("%w: decoded records %d exceed budget %d (MaxRecords/MaxDecodeBytes)",
+				ErrLimitExceeded, n, budget)}
+			return res
+		}
 	}
 	if trunc {
 		res.issues = append(res.issues,
@@ -301,10 +459,17 @@ func siftDown(h []streamHead, i int) {
 	}
 }
 
+// mergeCtxStride is how many merged events pass between context polls in
+// the k-way merge hot loop: cheap enough to be invisible, frequent enough
+// that cancellation lands well inside the 100 ms budget even on
+// multi-million-event traces.
+const mergeCtxStride = 1 << 14
+
 // mergeStreams k-way merges per-chunk event streams, each ascending in
 // Global, into one slice of length total: O(N log k) instead of the
-// O(N log N) global sort, with no reflection in the hot loop.
-func mergeStreams(streams [][]Event, total int) []Event {
+// O(N log N) global sort, with no reflection in the hot loop. The merge
+// polls ctx every mergeCtxStride events and aborts with ctx.Err().
+func mergeStreams(ctx context.Context, streams [][]Event, total int) ([]Event, error) {
 	h := make([]streamHead, 0, len(streams))
 	for i, s := range streams {
 		if len(s) > 0 {
@@ -312,16 +477,21 @@ func mergeStreams(streams [][]Event, total int) []Event {
 		}
 	}
 	if len(h) == 0 {
-		return nil
+		return nil, nil
 	}
 	if len(h) == 1 {
-		return h[0].ev
+		return h[0].ev, nil
 	}
 	for i := len(h)/2 - 1; i >= 0; i-- {
 		siftDown(h, i)
 	}
 	out := make([]Event, 0, total)
 	for len(h) > 1 {
+		if len(out)%mergeCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		top := &h[0]
 		out = append(out, top.ev[0])
 		top.ev = top.ev[1:]
@@ -331,7 +501,7 @@ func mergeStreams(streams [][]Event, total int) []Event {
 		}
 		siftDown(h, 0)
 	}
-	return append(out, h[0].ev...)
+	return append(out, h[0].ev...), nil
 }
 
 // buildIndexes precomputes the CoreEvents and RunEvents views in two

@@ -2,6 +2,7 @@ package analyzer
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -153,7 +154,7 @@ func TestPipelineMatchesSerialFuzzed(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 2, 3, 8} {
-			got, err := fromFile(f, workers, false)
+			got, err := fromFile(context.Background(), f, workers, false, Limits{})
 			if err != nil {
 				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
 			}
@@ -188,7 +189,7 @@ func TestPipelineChunkIssues(t *testing.T) {
 	if len(want.Issues) != 3 { // mismatch (chunk 0), mismatch + truncation (chunk 1)
 		t.Fatalf("expected 3 issues from reference path, got %v", want.Issues)
 	}
-	got, err := fromFile(f, 2, false)
+	got, err := fromFile(context.Background(), f, 2, false, Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestPipelineBadAnchorError(t *testing.T) {
 	}
 	f := encodeFile(t, traceio.Meta{}, []traceio.Chunk{{Core: 0, AnchorIdx: 4, Data: data}})
 	_, errSerial := FromFileSerial(f)
-	_, errPar := fromFile(f, 2, false)
+	_, errPar := fromFile(context.Background(), f, 2, false, Limits{})
 	if errSerial == nil || errPar == nil {
 		t.Fatalf("expected errors, got serial=%v parallel=%v", errSerial, errPar)
 	}
@@ -240,7 +241,10 @@ func TestMergeStreams(t *testing.T) {
 		for _, s := range tc.streams {
 			total += len(s)
 		}
-		got := mergeStreams(tc.streams, total)
+		got, err := mergeStreams(context.Background(), tc.streams, total)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
 		if len(got) != len(tc.want) {
 			t.Fatalf("%s: got %d events, want %d", tc.name, len(got), len(tc.want))
 		}

@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -107,7 +108,14 @@ func computeConfidence(tr *Trace, rep *traceio.SalvageReport) Confidence {
 // the salvage report is folded into Trace.Issues, and Confidence reflects
 // the reported damage. rep may be nil (plain lenient load).
 func FromSalvaged(f *traceio.File, rep *traceio.SalvageReport) (*Trace, error) {
-	tr, err := fromFile(f, runtime.GOMAXPROCS(0), true)
+	return FromSalvagedContext(context.Background(), f, rep, Limits{})
+}
+
+// FromSalvagedContext is FromSalvaged under cancellation and admission
+// control. Leniency covers damage, not resources: ErrLimitExceeded and
+// ctx errors abort a salvaged load like any other.
+func FromSalvagedContext(ctx context.Context, f *traceio.File, rep *traceio.SalvageReport, lim Limits) (*Trace, error) {
+	tr, err := fromFile(ctx, f, runtime.GOMAXPROCS(0), true, lim)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package cell
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/celltrace/pdt/internal/sim"
@@ -175,6 +176,12 @@ func (m *Machine) CrashAt(cycle uint64) {
 // Run simulates until all processes finish (deadlocks propagate from the
 // kernel as errors).
 func (m *Machine) Run() error { return m.eng.Run() }
+
+// RunContext simulates like Run but aborts with ctx.Err() when the
+// context is cancelled or its deadline expires, unwinding every live
+// process. Wall-clock bounded runs (`pdt-run -timeout`) use it to keep a
+// stuck or runaway simulation diagnosable.
+func (m *Machine) RunContext(ctx context.Context) error { return m.eng.RunContext(ctx) }
 
 // EIBStats returns lifetime EIB totals (bytes, transfers, busy ring-cycles).
 func (m *Machine) EIBStats() (bytes, transfers, busy uint64) { return m.eib.Stats() }

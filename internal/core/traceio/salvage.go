@@ -1,6 +1,7 @@
 package traceio
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -91,11 +92,21 @@ const maxPlausibleSPE = 16
 // region) every chunk before the damage is recovered verbatim, and intact
 // chunks after it are recovered by resync.
 func Salvage(data []byte) (*File, *SalvageReport, error) {
+	return SalvageContext(context.Background(), data)
+}
+
+// SalvageContext is Salvage under cancellation: the scanner polls ctx
+// between chunks and while resynchronizing, so a deadline or cancel stops
+// a salvage of arbitrarily damaged input promptly. On cancellation the
+// file is dropped and ctx.Err() returned; the report still describes the
+// prefix scanned so far (its byte accounting is exact only for completed
+// runs).
+func SalvageContext(ctx context.Context, data []byte) (*File, *SalvageReport, error) {
 	rep := &SalvageReport{BytesTotal: len(data)}
 	f := &File{}
 	off := 0
 
-	hf, hoff, err := parseHeaderMeta(data)
+	hf, hoff, err := parseHeaderMeta(data, Limits{})
 	switch {
 	case err == nil && !hf.Truncated:
 		f.Header = hf.Header
@@ -138,7 +149,10 @@ func Salvage(data []byte) (*File, *SalvageReport, error) {
 	// or at least one decodable record).
 	synced := rep.MetaOK
 
-	for off < len(data) {
+	for iter := 0; off < len(data); iter++ {
+		if err := checkEvery(ctx, iter); err != nil {
+			return nil, rep, err
+		}
 		if isFooterAt(data, off) {
 			want := binary.LittleEndian.Uint32(data[off+4 : off+8])
 			if crc32.ChecksumIEEE(data[:off]) == want {

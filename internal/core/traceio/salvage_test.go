@@ -55,7 +55,7 @@ func writeMultiChunk(t *testing.T) ([]byte, [][]byte) {
 // chunkOffsets returns the file offset of each chunk header.
 func chunkOffsets(t *testing.T, data []byte) []int {
 	t.Helper()
-	f, off, err := parseHeaderMeta(data)
+	f, off, err := parseHeaderMeta(data, Limits{})
 	if err != nil || f.Truncated {
 		t.Fatalf("parseHeaderMeta: %v (trunc=%v)", err, f.Truncated)
 	}

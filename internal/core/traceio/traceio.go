@@ -8,6 +8,7 @@ package traceio
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/xml"
 	"errors"
@@ -215,26 +216,56 @@ func chunkHeaderLen(version uint16) int {
 
 // Read parses a whole trace file.
 func Read(r io.Reader) (*File, error) {
+	return ReadContext(context.Background(), r, Limits{})
+}
+
+// ReadContext parses a whole trace file, refusing inputs larger than
+// lim.MaxFileBytes before buffering more than that many bytes.
+func ReadContext(ctx context.Context, r io.Reader, lim Limits) (*File, error) {
+	if lim.MaxFileBytes > 0 {
+		r = io.LimitReader(r, lim.MaxFileBytes+1)
+	}
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	return Parse(data)
+	if lim.MaxFileBytes > 0 && int64(len(data)) > lim.MaxFileBytes {
+		return nil, limitErr("file size over", int64(len(data)), lim.MaxFileBytes)
+	}
+	return ParseContext(ctx, data, lim)
 }
 
-// Parse parses a trace from memory. On a footer CRC mismatch it returns
-// the structurally complete *File alongside ErrCRC, so callers that can
-// tolerate unverified data need not discard it; every other error returns
-// a nil file.
+// Parse parses a trace from memory with no deadline and no resource
+// limits (the historical trusted-operator contract). On a footer CRC
+// mismatch it returns the structurally complete *File alongside ErrCRC,
+// so callers that can tolerate unverified data need not discard it; every
+// other error returns a nil file.
 func Parse(data []byte) (*File, error) {
-	f, off, err := parseHeaderMeta(data)
+	return ParseContext(context.Background(), data, Limits{})
+}
+
+// ParseContext parses a trace from memory, honoring cancellation and the
+// admission-control limits: a metadata blob or chunk whose header
+// declares a length over the corresponding limit is rejected with
+// ErrLimitExceeded before any length-proportional work happens. Declared
+// lengths are never trusted for allocation — chunk data is sliced from
+// the input, so the per-chunk footprint is capped by
+// min(declared, remaining input bytes) even with no limits set.
+func ParseContext(ctx context.Context, data []byte, lim Limits) (*File, error) {
+	if lim.MaxFileBytes > 0 && int64(len(data)) > lim.MaxFileBytes {
+		return nil, limitErr("file size", int64(len(data)), lim.MaxFileBytes)
+	}
+	f, off, err := parseHeaderMeta(data, lim)
 	if err != nil || f.Truncated {
 		return orNil(f, err)
 	}
 	chdr := chunkHeaderLen(f.Header.Version)
 
 	// Chunks until footer or truncation.
-	for off < len(data) {
+	for iter := 0; off < len(data); iter++ {
+		if err := checkEvery(ctx, iter); err != nil {
+			return nil, err
+		}
 		if data[off] == FooterMagic[0] {
 			if len(data)-off < 8 || string(data[off:off+4]) != FooterMagic {
 				f.Truncated = true
@@ -259,6 +290,9 @@ func Parse(data []byte) (*File, error) {
 			AnchorIdx: binary.LittleEndian.Uint16(data[off+2 : off+4]),
 		}
 		clen := int(binary.LittleEndian.Uint32(data[off+4 : off+8]))
+		if lim.MaxChunkBytes > 0 && clen > lim.MaxChunkBytes {
+			return nil, limitErr(fmt.Sprintf("chunk at offset %d declares", off), int64(clen), int64(lim.MaxChunkBytes))
+		}
 		if chdr == 12 {
 			c.CRC = binary.LittleEndian.Uint32(data[off+8 : off+12])
 		}
@@ -286,8 +320,10 @@ func orNil(f *File, err error) (*File, error) {
 
 // parseHeaderMeta parses the fixed header and metadata blob, returning the
 // offset of the first chunk. A truncated prefix sets f.Truncated with no
-// error, mirroring Parse's tolerance for crashed writes.
-func parseHeaderMeta(data []byte) (*File, int, error) {
+// error, mirroring Parse's tolerance for crashed writes. A metadata blob
+// declaring more than lim.MaxMetaBytes is rejected before the XML decoder
+// sees it.
+func parseHeaderMeta(data []byte, lim Limits) (*File, int, error) {
 	if len(data) < headerLen || string(data[:4]) != Magic {
 		return nil, 0, ErrBadMagic
 	}
@@ -306,6 +342,9 @@ func parseHeaderMeta(data []byte) (*File, int, error) {
 		return f, off, nil
 	}
 	mlen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	if lim.MaxMetaBytes > 0 && mlen > lim.MaxMetaBytes {
+		return nil, 0, limitErr("metadata length", int64(mlen), int64(lim.MaxMetaBytes))
+	}
 	off += 4
 	if off+mlen > len(data) {
 		f.Truncated = true
@@ -318,17 +357,34 @@ func parseHeaderMeta(data []byte) (*File, int, error) {
 	return f, off, nil
 }
 
-// DecodeChunk decodes every record in one chunk. A truncated final record
-// ends decoding cleanly with truncated=true; structural corruption returns
-// an error alongside the records decoded so far.
+// DecodeChunk decodes every record in one chunk with no deadline and no
+// record cap. A truncated final record ends decoding cleanly with
+// truncated=true; structural corruption returns an error alongside the
+// records decoded so far.
 func DecodeChunk(c Chunk) (recs []event.Record, truncated bool, err error) {
+	return DecodeChunkContext(context.Background(), c, Limits{})
+}
+
+// DecodeChunkContext decodes one chunk under cancellation and a per-chunk
+// record cap (lim.MaxRecords; 0 = unlimited). The preallocation is sized
+// from the bytes actually present in the chunk — never from any
+// header-declared length — so a hostile header cannot drive allocation
+// beyond min(declared, remaining) bytes of real input.
+func DecodeChunkContext(ctx context.Context, c Chunk, lim Limits) (recs []event.Record, truncated bool, err error) {
 	data := c.Data
-	if est := len(data) / event.MinRecordSize; est > 0 {
+	est := len(data) / event.MinRecordSize
+	if lim.MaxRecords > 0 && est > lim.MaxRecords {
+		est = lim.MaxRecords + 1 // room for the record that trips the cap
+	}
+	if est > 0 {
 		// Preallocate from the record-count upper bound so decoding a
 		// chunk never regrows the slice.
 		recs = make([]event.Record, 0, est)
 	}
 	for len(data) > 0 {
+		if err := checkEvery(ctx, len(recs)); err != nil {
+			return recs, false, err
+		}
 		if data[0] == 0 {
 			// DMA-alignment padding between buffer flushes: skip the
 			// whole zero run at once.
@@ -347,6 +403,10 @@ func DecodeChunk(c Chunk) (recs []event.Record, truncated bool, err error) {
 			return recs, false, fmt.Errorf("traceio: core %d: %w", c.Core, derr)
 		}
 		recs = append(recs, r)
+		if lim.MaxRecords > 0 && len(recs) > lim.MaxRecords {
+			return recs, false, limitErr(fmt.Sprintf("core %d record count", c.Core),
+				int64(len(recs)), int64(lim.MaxRecords))
+		}
 		data = data[n:]
 	}
 	return recs, false, nil

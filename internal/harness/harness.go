@@ -5,6 +5,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -69,6 +70,15 @@ type Result struct {
 
 // Run executes a spec.
 func Run(spec Spec) (*Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext executes a spec under cancellation: the simulation engine
+// polls ctx between dispatches and the trace load honors it too, so a
+// deadline bounds the whole run (simulate → write → analyze). The
+// returned error preserves ctx.Err() for errors.Is, letting callers map
+// a wall-clock timeout to a distinct exit status.
+func RunContext(ctx context.Context, spec Spec) (*Result, error) {
 	w, err := workloads.New(spec.Workload)
 	if err != nil {
 		return nil, err
@@ -117,7 +127,10 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	crashed := false
-	if err := m.Run(); err != nil {
+	if err := m.RunContext(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("harness: simulation interrupted: %w", err)
+		}
 		if _, killed := plan.Kill(); !errors.Is(err, sim.ErrStopped) || !killed {
 			return nil, fmt.Errorf("harness: simulation: %w", err)
 		}
@@ -150,18 +163,18 @@ func Run(spec Spec) (*Result, error) {
 		if crashed || len(res.FaultNotes) > 0 {
 			// The trace is damaged by construction; load it the way
 			// `pdt-ta doctor` would.
-			f, rep, err := traceio.Salvage(res.TraceBytes)
+			f, rep, err := traceio.SalvageContext(ctx, res.TraceBytes)
 			if err != nil {
 				return nil, fmt.Errorf("harness: trace unrecoverable: %w", err)
 			}
-			tr, err := analyzer.FromSalvaged(f, rep)
+			tr, err := analyzer.FromSalvagedContext(ctx, f, rep, analyzer.Limits{})
 			if err != nil {
 				return nil, err
 			}
 			res.Trace = tr
 			res.Salvage = rep
 		} else {
-			tr, err := analyzer.Load(bytes.NewReader(res.TraceBytes))
+			tr, err := analyzer.LoadContext(ctx, bytes.NewReader(res.TraceBytes), analyzer.Limits{})
 			if err != nil {
 				return nil, err
 			}

@@ -15,6 +15,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 )
@@ -213,13 +214,35 @@ func (p *Proc) Yield() { p.Delay(0) }
 // nothing is scheduled, and ErrStopped if Stop was called.
 func (e *Engine) Run() error { return e.RunUntil(^uint64(0)) }
 
+// ctxStride is how many dispatches pass between context polls in
+// RunContext: the engine dispatches millions of wakeups per host second,
+// so a poll every 4096 keeps cancellation latency in the microseconds
+// while staying invisible on the profile.
+const ctxStride = 4096
+
+// RunContext drives the simulation like Run, additionally polling ctx
+// between dispatches (the engine loop runs on the caller's goroutine, so
+// the poll is race-free). On cancellation or deadline expiry every live
+// process is unwound exactly as Stop does and ctx.Err() is returned, so
+// callers can distinguish a wall-clock timeout (context.DeadlineExceeded)
+// from a simulated-fault stop (ErrStopped).
+func (e *Engine) RunContext(ctx context.Context) error { return e.runUntil(ctx, ^uint64(0)) }
+
 // RunUntil drives the simulation until no wakeups remain or the next
 // wakeup would be at a time strictly greater than limit.
-func (e *Engine) RunUntil(limit uint64) error {
-	for len(e.queue) > 0 {
+func (e *Engine) RunUntil(limit uint64) error { return e.runUntil(nil, limit) }
+
+func (e *Engine) runUntil(ctx context.Context, limit uint64) error {
+	for n := 0; len(e.queue) > 0; n++ {
 		if e.stopped {
 			e.abortAll()
 			return ErrStopped
+		}
+		if ctx != nil && n%ctxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				e.abortAll()
+				return err
+			}
 		}
 		next := e.queue[0]
 		if next.at > limit {
