@@ -1,9 +1,9 @@
 # Tier-1 gate: `make ci` is what CI and pre-merge checks run.
 GO ?= go
 
-.PHONY: ci fmt vet staticcheck build test race bench fuzz-smoke fuzz smoke-tad
+.PHONY: ci fmt vet staticcheck build test race bench bench-analysis bench-analysis-short fuzz-smoke fuzz smoke-tad
 
-ci: fmt vet staticcheck build race bench fuzz-smoke smoke-tad
+ci: fmt vet staticcheck build race bench bench-analysis-short fuzz-smoke smoke-tad
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -38,6 +38,19 @@ race:
 # under -bench; -short shrinks the synthetic trace.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkLoad -benchtime 1x -short .
+
+# Analysis-kernel and service-cache benchmarks: parallel vs serial
+# Profile/ComputeCriticalPath and warm vs cold pdt-tad summary (the
+# warm/cold split is the cache speedup recorded in EXPERIMENTS.md).
+bench-analysis:
+	$(GO) test -run '^$$' -bench 'BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace' -benchtime 10x .
+	$(GO) test -run '^$$' -bench BenchmarkTADSummary -benchtime 10x ./cmd/pdt-tad
+
+# One -short pass of the same benchmarks for ci: catches kernel/cache
+# regressions that only show up under -bench without the full cost.
+bench-analysis-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace' -benchtime 1x -short .
+	$(GO) test -run '^$$' -bench BenchmarkTADSummary -benchtime 1x -short ./cmd/pdt-tad
 
 # Replay the checked-in fuzz corpora (seed inputs + past findings) as
 # plain tests — fast, deterministic, no fuzzing engine. Covers the

@@ -183,6 +183,69 @@ func BenchmarkLoadLargeTrace(b *testing.B) {
 	})
 }
 
+// largeTrace loads the standard multi-MiB benchmark trace once; the
+// analysis-kernel benchmarks below all chew on the same loaded trace so
+// their parallel/serial deltas are purely the kernels.
+func largeTrace(b *testing.B) *analyzer.Trace {
+	b.Helper()
+	events := 20000
+	if testing.Short() {
+		events = 2000
+	}
+	cfg := core.DefaultTraceConfig()
+	res, err := harness.Run(harness.Spec{
+		Workload: "synthetic",
+		Params:   map[string]string{"events": fmt.Sprint(events), "gap": "100"},
+		Trace:    &cfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := analyzer.Load(bytes.NewReader(res.TraceBytes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("trace: %d bytes, %d events", len(res.TraceBytes), len(tr.Events))
+	return tr
+}
+
+// BenchmarkProfileLargeTrace measures the interval profile: the per-core
+// sharded scan against the single-pass serial reference.
+func BenchmarkProfileLargeTrace(b *testing.B) {
+	tr := largeTrace(b)
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			analyzer.Profile(tr)
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			analyzer.ProfileSerial(tr)
+		}
+	})
+}
+
+// BenchmarkCritPathLargeTrace measures critical-path extraction: the
+// sharded predecessor/dependency scans against the serial reference (the
+// backward walk is shared and serial in both).
+func BenchmarkCritPathLargeTrace(b *testing.B) {
+	tr := largeTrace(b)
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			analyzer.ComputeCriticalPath(tr)
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			analyzer.ComputeCriticalPathSerial(tr)
+		}
+	})
+}
+
 // BenchmarkSimulatedMachine measures simulator throughput: simulated
 // cycles per host second on an untraced DMA-heavy workload.
 func BenchmarkSimulatedMachine(b *testing.B) {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	pdt-ta summary trace.pdt
+//	pdt-ta report trace.pdt
 //	pdt-ta timeline -width 100 trace.pdt
 //	pdt-ta svg -o timeline.svg trace.pdt
 //	pdt-ta csv trace.pdt > events.csv
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"github.com/celltrace/pdt/internal/analyzer"
 	"github.com/celltrace/pdt/internal/core/traceio"
@@ -55,8 +57,44 @@ func loadFriendly(ctx context.Context, path string) (*analyzer.Trace, error) {
 	return tr, err
 }
 
+// report prints the combined report: summary, interval profile, gaps, and
+// critical path in one pass over the file. Validation runs first (it
+// mutates tr.Issues and must be exclusive); the four analyses after it are
+// independent reads of the immutable trace and run concurrently, so the
+// combined report costs about as much wall-clock as its slowest section.
+func report(tr *analyzer.Trace, out io.Writer) error {
+	analyzer.Validate(tr)
+	var (
+		sum    *analyzer.Summary
+		pairs  []analyzer.PairProfile
+		gapMin uint64
+		gaps   []analyzer.Gap
+		cp     *analyzer.CriticalPath
+	)
+	var wg sync.WaitGroup
+	for _, task := range []func(){
+		func() { sum = analyzer.Summarize(tr) },
+		func() { pairs = analyzer.Profile(tr) },
+		func() { gapMin = analyzer.SuggestGapThreshold(tr); gaps = analyzer.FindGaps(tr, gapMin) },
+		func() { cp = analyzer.ComputeCriticalPath(tr) },
+	} {
+		wg.Add(1)
+		go func(f func()) { defer wg.Done(); f() }(task)
+	}
+	wg.Wait()
+
+	analyzer.Report(tr, sum, out)
+	fmt.Fprintf(out, "\ninterval profile:\n")
+	analyzer.WriteProfilePairs(tr, pairs, out)
+	fmt.Fprintln(out)
+	analyzer.WriteGapsFound(gapMin, gaps, 15, out)
+	fmt.Fprintln(out)
+	analyzer.WriteCriticalPathFrom(cp, out, 10)
+	return nil
+}
+
 func usage() error {
-	return fmt.Errorf("usage: pdt-ta <summary|timeline|svg|html|csv|json|validate|doctor|events|profile|tags|intervals|slack|bw|compensate|critpath|gaps|compare> [flags] trace.pdt [trace2.pdt]")
+	return fmt.Errorf("usage: pdt-ta <summary|report|timeline|svg|html|csv|json|validate|doctor|events|profile|tags|intervals|slack|bw|compensate|critpath|gaps|compare> [flags] trace.pdt [trace2.pdt]")
 }
 
 func run(args []string, out io.Writer) error {
@@ -176,6 +214,8 @@ func run(args []string, out io.Writer) error {
 	case "summary":
 		analyzer.Validate(tr)
 		analyzer.Report(tr, analyzer.Summarize(tr), out)
+	case "report":
+		return report(tr, out)
 	case "timeline":
 		fmt.Fprint(out, analyzer.Timeline(tr, *width))
 	case "svg":

@@ -59,6 +59,42 @@ func TestSummary(t *testing.T) {
 	}
 }
 
+// TestReportCombined checks the concurrent combined report carries all
+// four sections and that each matches its standalone subcommand's output.
+func TestReportCombined(t *testing.T) {
+	path := makeTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"report", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"workload: julia", "interval profile:", "event-free stretches", "critical path:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	// The concurrently-computed sections must render exactly what the
+	// standalone subcommands print.
+	var prof, gaps, crit bytes.Buffer
+	if err := run([]string{"profile", path}, &prof); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"gaps", path}, &gaps); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"critpath", path}, &crit); err != nil {
+		t.Fatal(err)
+	}
+	for name, section := range map[string]string{
+		"profile": prof.String(), "gaps": gaps.String(), "critpath": crit.String(),
+	} {
+		if !strings.Contains(out.String(), section) {
+			t.Fatalf("report's %s section differs from the standalone subcommand", name)
+		}
+	}
+}
+
 func TestTimeline(t *testing.T) {
 	path := makeTrace(t)
 	var out bytes.Buffer

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/harness"
+)
+
+// BenchmarkTADSummary measures one end-to-end /v1/summary request on the
+// standard multi-MiB benchmark trace, cold (cache disabled: every request
+// re-parses, re-merges and re-analyzes) versus warm (content-addressed
+// cache primed, so the request is a hash + memoized render). The warm/cold
+// ratio is the service-path speedup the cache buys for repeated uploads.
+func BenchmarkTADSummary(b *testing.B) {
+	events := 20000
+	if testing.Short() {
+		events = 2000
+	}
+	cfg := core.DefaultTraceConfig()
+	res, err := harness.Run(harness.Spec{
+		Workload: "synthetic",
+		Params:   map[string]string{"events": fmt.Sprint(events), "gap": "100"},
+		Trace:    &cfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := res.TraceBytes
+	b.Logf("trace: %d bytes", len(trace))
+
+	post := func(b *testing.B, url string) {
+		b.Helper()
+		resp, err := http.Post(url+"/v1/summary", "application/octet-stream",
+			bytes.NewReader(trace))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	serve := func(mut func(*config)) *httptest.Server {
+		cfg := defaultConfig()
+		if mut != nil {
+			mut(&cfg)
+		}
+		return httptest.NewServer(newServer(cfg, quietLogger()).handler())
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		ts := serve(func(c *config) { c.cacheBytes = 0; c.cacheEntries = 0 })
+		defer ts.Close()
+		b.SetBytes(int64(len(trace)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		ts := serve(nil)
+		defer ts.Close()
+		post(b, ts.URL) // prime the cache
+		b.SetBytes(int64(len(trace)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, ts.URL)
+		}
+	})
+}

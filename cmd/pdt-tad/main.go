@@ -4,11 +4,19 @@
 // bounded concurrency with load shedding, panic containment, health
 // probes, and graceful drain on SIGTERM.
 //
+// Repeated uploads of the same trace bytes are served from a
+// content-addressed (SHA-256), size-bounded LRU cache of loaded traces
+// and memoized analysis artifacts, with singleflight dedup of concurrent
+// loads; GET /v1/stats exposes its counters.
+//
 // Endpoints:
 //
 //	POST /v1/summary  trace body -> summary JSON (pdt-ta json)
 //	POST /v1/profile  trace body -> interval profile JSON
+//	POST /v1/gaps     trace body -> event-free stretches JSON
+//	POST /v1/critpath trace body -> critical-path JSON
 //	POST /v1/doctor   trace body -> salvage/recovery report JSON
+//	GET  /v1/stats    cache hit/miss/evict/bytes counters
 //	GET  /healthz     liveness probe
 //	GET  /readyz      readiness probe (503 while draining)
 //
@@ -57,6 +65,8 @@ func run(args []string, stdout io.Writer, logw io.Writer, ready chan<- net.Addr)
 		maxMeta    = fs.Int("max-meta-bytes", def.limits.MaxMetaBytes, "max declared metadata bytes")
 		maxRecords = fs.Int("max-records", def.limits.MaxRecords, "max decoded records per trace")
 		maxDecode  = fs.Int64("max-decode-bytes", def.limits.MaxDecodeBytes, "decode memory budget in bytes")
+		cacheBytes = fs.Int64("cache-bytes", def.cacheBytes, "trace cache retention budget in bytes (0 with -cache-entries 0 disables the cache)")
+		cacheEnts  = fs.Int("cache-entries", def.cacheEntries, "max cached traces (0 = unbounded when the cache is enabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +82,8 @@ func run(args []string, stdout io.Writer, logw io.Writer, ready chan<- net.Addr)
 	cfg.limits.MaxMetaBytes = *maxMeta
 	cfg.limits.MaxRecords = *maxRecords
 	cfg.limits.MaxDecodeBytes = *maxDecode
+	cfg.cacheBytes = *cacheBytes
+	cfg.cacheEntries = *cacheEnts
 	// The body cap is the outer wall; keep the analyzer's file limit in
 	// step so admission control agrees with the HTTP layer.
 	cfg.limits.MaxFileBytes = cfg.maxBody

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/analyzer/cache"
 )
 
 // config collects the service knobs; every one maps to a flag in main.
@@ -33,6 +34,11 @@ type config struct {
 	drain time.Duration
 	// limits is the admission control handed to the analyzer.
 	limits analyzer.Limits
+	// cacheBytes/cacheEntries bound the content-addressed trace cache
+	// (0 = unbounded on that axis); both 0 via flags disables it and
+	// every request re-analyzes from scratch.
+	cacheBytes   int64
+	cacheEntries int
 }
 
 func defaultConfig() config {
@@ -44,6 +50,7 @@ func defaultConfig() config {
 		maxQueue:       8,
 		drain:          20 * time.Second,
 		limits:         analyzer.DefaultServiceLimits(),
+		cacheBytes:     256 << 20,
 	}
 }
 
@@ -57,6 +64,9 @@ type server struct {
 	slots    chan struct{}
 	queue    chan struct{}
 	draining atomic.Bool
+	// cache is the content-addressed trace cache shared by the analysis
+	// endpoints; nil when disabled (every request analyzes from scratch).
+	cache *cache.Cache
 	// analysisHook, when non-nil, runs inside each analysis handler after
 	// admission (test seam for panic and saturation tests).
 	analysisHook func()
@@ -69,12 +79,16 @@ func newServer(cfg config, log *slog.Logger) *server {
 	if cfg.maxQueue < 0 {
 		cfg.maxQueue = 0
 	}
-	return &server{
+	s := &server{
 		cfg:   cfg,
 		log:   log,
 		slots: make(chan struct{}, cfg.maxConcurrent),
 		queue: make(chan struct{}, cfg.maxQueue),
 	}
+	if cfg.cacheBytes > 0 || cfg.cacheEntries > 0 {
+		s.cache = cache.New(cfg.cacheEntries, cfg.cacheBytes)
+	}
+	return s
 }
 
 // errShed signals that both the semaphore and the wait queue are full.
@@ -108,9 +122,12 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.Handle("POST /v1/summary", s.analysis("summary", renderSummary))
-	mux.Handle("POST /v1/profile", s.analysis("profile", renderProfile))
-	mux.Handle("POST /v1/doctor", s.analysis("doctor", renderDoctor))
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("POST /v1/summary", s.analysis("summary", s.renderSummary))
+	mux.Handle("POST /v1/profile", s.analysis("profile", s.renderProfile))
+	mux.Handle("POST /v1/gaps", s.analysis("gaps", s.renderGaps))
+	mux.Handle("POST /v1/critpath", s.analysis("critpath", s.renderCritPath))
+	mux.Handle("POST /v1/doctor", s.analysis("doctor", s.renderDoctor))
 	return s.logRequests(s.recoverPanics(mux))
 }
 
@@ -132,33 +149,119 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // renderFunc turns an uploaded trace image into a JSON body.
-type renderFunc func(ctx context.Context, data []byte, lim analyzer.Limits, w io.Writer) error
+type renderFunc func(ctx context.Context, data []byte, w io.Writer) error
 
-func renderSummary(ctx context.Context, data []byte, lim analyzer.Limits, w io.Writer) error {
-	tr, err := analyzer.LoadContext(ctx, bytes.NewReader(data), lim)
+// loadShared resolves a trace through the cache (one load per content
+// address, artifacts memoized) or, when the cache is disabled, loads and
+// validates it directly. The second return is nil exactly when the cache
+// is bypassed.
+func (s *server) loadShared(ctx context.Context, data []byte) (*analyzer.Trace, *cache.Handle, error) {
+	if s.cache != nil {
+		h, err := s.cache.Load(ctx, data, s.cfg.limits)
+		if err != nil {
+			return nil, nil, err
+		}
+		return h.Trace(), h, nil
+	}
+	tr, err := analyzer.LoadContext(ctx, bytes.NewReader(data), s.cfg.limits)
+	if err != nil {
+		return nil, nil, err
+	}
+	analyzer.Validate(tr)
+	return tr, nil, nil
+}
+
+func (s *server) renderSummary(ctx context.Context, data []byte, w io.Writer) error {
+	tr, h, err := s.loadShared(ctx, data)
 	if err != nil {
 		return err
 	}
-	analyzer.Validate(tr)
+	if h != nil {
+		return analyzer.WriteJSON(tr, h.Summary(), w)
+	}
 	return analyzer.WriteJSON(tr, analyzer.Summarize(tr), w)
 }
 
-func renderProfile(ctx context.Context, data []byte, lim analyzer.Limits, w io.Writer) error {
-	tr, err := analyzer.LoadContext(ctx, bytes.NewReader(data), lim)
+func (s *server) renderProfile(ctx context.Context, data []byte, w io.Writer) error {
+	tr, h, err := s.loadShared(ctx, data)
 	if err != nil {
 		return err
+	}
+	if h != nil {
+		return analyzer.WriteProfilePairsJSON(tr, h.Profile(), w)
 	}
 	return analyzer.WriteProfileJSON(tr, w)
 }
 
+func (s *server) renderGaps(ctx context.Context, data []byte, w io.Writer) error {
+	tr, h, err := s.loadShared(ctx, data)
+	if err != nil {
+		return err
+	}
+	if h != nil {
+		min, gaps := h.Gaps()
+		return analyzer.WriteGapsJSON(min, gaps, w)
+	}
+	min := analyzer.SuggestGapThreshold(tr)
+	return analyzer.WriteGapsJSON(min, analyzer.FindGaps(tr, min), w)
+}
+
+func (s *server) renderCritPath(ctx context.Context, data []byte, w io.Writer) error {
+	tr, h, err := s.loadShared(ctx, data)
+	if err != nil {
+		return err
+	}
+	if h != nil {
+		return analyzer.WriteCriticalPathJSON(h.CriticalPath(), w)
+	}
+	return analyzer.WriteCriticalPathJSON(analyzer.ComputeCriticalPath(tr), w)
+}
+
 // renderDoctor never treats damage as an error — that is the point of the
 // endpoint — but limit violations and deadlines still abort.
-func renderDoctor(ctx context.Context, data []byte, lim analyzer.Limits, w io.Writer) error {
-	d, err := analyzer.DoctorDataContext(ctx, data, lim)
+func (s *server) renderDoctor(ctx context.Context, data []byte, w io.Writer) error {
+	var d *analyzer.DoctorReport
+	var err error
+	if s.cache != nil {
+		d, err = s.cache.Doctor(ctx, data, s.cfg.limits)
+	} else {
+		d, err = analyzer.DoctorDataContext(ctx, data, s.cfg.limits)
+	}
 	if err != nil {
 		return err
 	}
 	return d.WriteJSON(w)
+}
+
+// handleStats reports the cache counters (GET /v1/stats).
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	type cacheStats struct {
+		Enabled         bool   `json:"enabled"`
+		Hits            uint64 `json:"hits"`
+		Misses          uint64 `json:"misses"`
+		Dedups          uint64 `json:"dedups"`
+		Evictions       uint64 `json:"evictions"`
+		Entries         int    `json:"entries"`
+		Bytes           int64  `json:"bytes"`
+		CapacityBytes   int64  `json:"capacityBytes"`
+		CapacityEntries int    `json:"capacityEntries"`
+	}
+	out := struct {
+		Cache cacheStats `json:"cache"`
+	}{}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		out.Cache = cacheStats{
+			Enabled: true,
+			Hits:    st.Hits, Misses: st.Misses, Dedups: st.Dedups,
+			Evictions: st.Evictions, Entries: st.Entries, Bytes: st.Bytes,
+			CapacityBytes: st.MaxBytes, CapacityEntries: st.MaxEntries,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(&out)
 }
 
 // analysis wraps a renderFunc with the whole protection stack: request
@@ -180,6 +283,9 @@ func (s *server) analysis(name string, render renderFunc) http.Handler {
 				s.writeError(w, http.StatusTooManyRequests, err)
 				return
 			}
+			// A queue-deadline 504 is as retryable as a 429 shed: the
+			// server was busy, not broken. Advertise that consistently.
+			w.Header().Set("Retry-After", "1")
 			s.writeError(w, http.StatusGatewayTimeout,
 				fmt.Errorf("queued past the request deadline: %w", err))
 			return
@@ -199,11 +305,12 @@ func (s *server) analysis(name string, render renderFunc) http.Handler {
 			return
 		}
 		var buf bytes.Buffer
-		if err := render(ctx, data, s.cfg.limits, &buf); err != nil {
+		if err := render(ctx, data, &buf); err != nil {
 			switch {
 			case errors.Is(err, analyzer.ErrLimitExceeded):
 				s.writeError(w, http.StatusRequestEntityTooLarge, err)
 			case errors.Is(err, context.DeadlineExceeded):
+				w.Header().Set("Retry-After", "1")
 				s.writeError(w, http.StatusGatewayTimeout, err)
 			case errors.Is(err, context.Canceled):
 				// Client went away; nothing useful to write.

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -287,6 +288,172 @@ func TestQueuedRequestHitsDeadline(t *testing.T) {
 	resp, body := post(t, ts.URL+"/v1/summary", trace) // queues, then times out
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("queued past deadline: status %d: %s", resp.StatusCode, body)
+	}
+	// A queue-deadline 504 means "busy, try again" — it must advertise
+	// retryability exactly like the 429 shed does.
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("queue-deadline 504 without Retry-After")
+	}
+}
+
+func TestGapsAndCritPathEndpoints(t *testing.T) {
+	_, ts := testServer(t, nil)
+	trace := smallTrace(t)
+
+	resp, body := post(t, ts.URL+"/v1/gaps", trace)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gaps: status %d: %s", resp.StatusCode, body)
+	}
+	var gaps struct {
+		MinTicks uint64           `json:"minTicks"`
+		Gaps     []map[string]any `json:"gaps"`
+	}
+	if err := json.Unmarshal(body, &gaps); err != nil {
+		t.Fatalf("gaps: bad JSON: %v", err)
+	}
+	if gaps.MinTicks == 0 {
+		t.Fatalf("gaps: zero threshold: %s", body)
+	}
+
+	resp, body = post(t, ts.URL+"/v1/critpath", trace)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("critpath: status %d: %s", resp.StatusCode, body)
+	}
+	var cp struct {
+		TotalTicks uint64           `json:"totalTicks"`
+		Segments   []map[string]any `json:"segments"`
+	}
+	if err := json.Unmarshal(body, &cp); err != nil {
+		t.Fatalf("critpath: bad JSON: %v", err)
+	}
+	if cp.TotalTicks == 0 || len(cp.Segments) == 0 {
+		t.Fatalf("critpath: empty result: %s", body)
+	}
+}
+
+// statsBody fetches and decodes GET /v1/stats.
+func statsBody(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Cache map[string]any `json:"cache"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("stats: bad JSON: %v", err)
+	}
+	return out.Cache
+}
+
+// TestCacheStatsEndpoint proves a repeated upload is a cache hit and that
+// /v1/stats reflects it; hits across different endpoints share the entry.
+func TestCacheStatsEndpoint(t *testing.T) {
+	_, ts := testServer(t, nil) // cache on by default
+	trace := smallTrace(t)
+
+	for _, ep := range []string{"/v1/summary", "/v1/summary", "/v1/profile", "/v1/critpath"} {
+		if resp, body := post(t, ts.URL+ep, trace); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", ep, resp.StatusCode, body)
+		}
+	}
+	st := statsBody(t, ts.URL)
+	if st["enabled"] != true {
+		t.Fatalf("stats: cache not enabled: %v", st)
+	}
+	if st["misses"] != float64(1) || st["hits"] != float64(3) {
+		t.Fatalf("stats: misses=%v hits=%v, want 1 miss + 3 hits", st["misses"], st["hits"])
+	}
+	if st["entries"] != float64(1) || st["bytes"].(float64) <= 0 {
+		t.Fatalf("stats: entries=%v bytes=%v, want 1 entry with weight", st["entries"], st["bytes"])
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	_, ts := testServer(t, func(c *config) { c.cacheBytes = 0; c.cacheEntries = 0 })
+	trace := smallTrace(t)
+	for i := 0; i < 2; i++ {
+		if resp, body := post(t, ts.URL+"/v1/summary", trace); resp.StatusCode != http.StatusOK {
+			t.Fatalf("summary: status %d: %s", resp.StatusCode, body)
+		}
+	}
+	st := statsBody(t, ts.URL)
+	if st["enabled"] != false {
+		t.Fatalf("stats: cache should be disabled: %v", st)
+	}
+}
+
+// TestCacheChurnNoBleed hammers a 2-entry cache with concurrent uploads of
+// four distinct traces and checks every response is byte-identical to that
+// trace's uncached baseline — eviction churn must never serve one trace's
+// analysis for another's bytes — while retention stays within the bound.
+func TestCacheChurnNoBleed(t *testing.T) {
+	traces := [][]byte{
+		traceBytes(t, map[string]string{"w": "48", "h": "24", "maxiter": "16"}),
+		traceBytes(t, map[string]string{"w": "64", "h": "32", "maxiter": "24"}),
+		traceBytes(t, map[string]string{"w": "80", "h": "40", "maxiter": "32"}),
+		traceBytes(t, map[string]string{"w": "96", "h": "48", "maxiter": "40"}),
+	}
+	endpoints := []string{"/v1/summary", "/v1/profile", "/v1/gaps", "/v1/critpath"}
+
+	// Baselines from a cache-disabled server: the ground truth per trace.
+	_, plain := testServer(t, func(c *config) { c.cacheBytes = 0; c.cacheEntries = 0 })
+	want := make(map[string][]byte)
+	for ti, tr := range traces {
+		for _, ep := range endpoints {
+			resp, body := post(t, plain.URL+ep, tr)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("baseline %s trace %d: status %d: %s", ep, ti, resp.StatusCode, body)
+			}
+			want[ep+strconv.Itoa(ti)] = body
+		}
+	}
+
+	s, ts := testServer(t, func(c *config) { c.cacheEntries = 2; c.cacheBytes = 0 })
+	const workers, iters = 8, 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ti := (w + i) % len(traces)
+				ep := endpoints[(w+i)%len(endpoints)]
+				resp, err := http.Post(ts.URL+ep, "application/octet-stream",
+					bytes.NewReader(traces[ti]))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("%s trace %d: status %d err %v", ep, ti, resp.StatusCode, err)
+					return
+				}
+				if !bytes.Equal(body, want[ep+strconv.Itoa(ti)]) {
+					t.Errorf("%s trace %d: response differs from baseline (cross-trace bleed?)", ep, ti)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.cache.Stats()
+	if st.Entries > 2 {
+		t.Fatalf("cache retained %d entries, bound is 2", st.Entries)
+	}
+	if st.Hits == 0 || st.Evictions == 0 {
+		t.Fatalf("stats %+v: churn should both hit and evict", st)
 	}
 }
 

@@ -1,0 +1,363 @@
+// Package cache provides a content-addressed, size-bounded LRU cache of
+// loaded traces and their memoized analysis artifacts, with
+// singleflight-style deduplication of concurrent loads. pdt-tad's
+// endpoints sit on top of it so a repeated upload of the same trace bytes
+// skips parsing, decoding, merging and analysis entirely.
+//
+// Keying is by SHA-256 of the raw trace image, so identical uploads share
+// one entry regardless of client or endpoint, and a single flipped byte
+// addresses a different entry. Entries are evicted least-recently-used
+// once the cache exceeds its entry or byte bound; an entry with a load
+// still in flight is pinned and skipped by the evictor, so the bound
+// applies to retained entries (concurrent distinct loads can transiently
+// exceed it — the requests must be served either way). Load failures are
+// never cached: the flight is removed on settle, so the next request for
+// those bytes retries.
+//
+// The cached *Trace is shared by every request that hits its entry. It is
+// validated exactly once, when the load settles (analyzer.Validate
+// appends to the trace and must not run concurrently), and is read-only
+// from then on; the memoized artifacts are computed at most once under
+// the entry's lock. Callers must not mutate anything a Handle returns.
+package cache
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"errors"
+
+	"sync"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+)
+
+// Key is the content address of a trace image: SHA-256 over its bytes.
+type Key [sha256.Size]byte
+
+// KeyOf hashes a trace image.
+func KeyOf(data []byte) Key { return sha256.Sum256(data) }
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts requests served from a settled entry; Misses counts
+	// requests that had to run the load themselves; Dedups counts
+	// requests that piggybacked on another request's in-flight load.
+	Hits, Misses, Dedups uint64
+	// Evictions counts entries removed by the LRU bound.
+	Evictions uint64
+	// Entries and Bytes describe current retention; MaxEntries/MaxBytes
+	// are the configured bounds (0 = unbounded).
+	Entries    int
+	Bytes      int64
+	MaxEntries int
+	MaxBytes   int64
+}
+
+// Cache is the content-addressed trace cache. The zero value is not
+// usable; call New.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu        sync.Mutex
+	ll        *list.List // *entry, most recently used at the front
+	entries   map[Key]*entry
+	bytes     int64
+	hits      uint64
+	misses    uint64
+	dedups    uint64
+	evictions uint64
+}
+
+// New builds a cache bounded to maxEntries entries and maxBytes estimated
+// trace bytes (each 0 = unbounded on that axis).
+func New(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		entries:    map[Key]*entry{},
+	}
+}
+
+// entry is one content address worth of cached state. The trace and
+// doctor flights are independent: corrupt bytes fail the strict load but
+// still produce a doctor report, and both can be cached side by side.
+type entry struct {
+	key    Key
+	elem   *list.Element
+	weight int64
+	trace  *flight
+	doctor *flight
+}
+
+// inFlight reports whether any of the entry's loads is still running;
+// such entries are pinned against eviction.
+func (e *entry) inFlight() bool {
+	return (e.trace != nil && !e.trace.settled) || (e.doctor != nil && !e.doctor.settled)
+}
+
+// flight is one load (trace or doctor) plus its memoized artifacts.
+// done/err/trace/doctor follow the singleflight protocol: the leader
+// fills them, settles, then closes done; waiters read only after done.
+type flight struct {
+	done    chan struct{}
+	settled bool // guarded by Cache.mu
+	weight  int64
+	err     error
+	trace   *analyzer.Trace
+	doctor  *analyzer.DoctorReport
+
+	memoMu   sync.Mutex
+	summary  *analyzer.Summary
+	profile  []analyzer.PairProfile
+	gapsDone bool
+	gapMin   uint64
+	gaps     []analyzer.Gap
+	critpath *analyzer.CriticalPath
+}
+
+// Handle is the per-request view of a cached trace: the shared loaded
+// Trace plus lazily memoized analysis artifacts. Everything it returns is
+// shared across requests and must be treated as immutable.
+type Handle struct{ f *flight }
+
+// Trace returns the loaded, validated trace.
+func (h *Handle) Trace() *analyzer.Trace { return h.f.trace }
+
+// Summary returns the memoized full-trace summary.
+func (h *Handle) Summary() *analyzer.Summary {
+	h.f.memoMu.Lock()
+	defer h.f.memoMu.Unlock()
+	if h.f.summary == nil {
+		h.f.summary = analyzer.Summarize(h.f.trace)
+	}
+	return h.f.summary
+}
+
+// Profile returns the memoized per-pair interval profile.
+func (h *Handle) Profile() []analyzer.PairProfile {
+	h.f.memoMu.Lock()
+	defer h.f.memoMu.Unlock()
+	if h.f.profile == nil {
+		h.f.profile = analyzer.Profile(h.f.trace)
+	}
+	return h.f.profile
+}
+
+// Gaps returns the memoized gap report at the auto-suggested threshold.
+func (h *Handle) Gaps() (minTicks uint64, gaps []analyzer.Gap) {
+	h.f.memoMu.Lock()
+	defer h.f.memoMu.Unlock()
+	if !h.f.gapsDone {
+		h.f.gapMin = analyzer.SuggestGapThreshold(h.f.trace)
+		h.f.gaps = analyzer.FindGaps(h.f.trace, h.f.gapMin)
+		h.f.gapsDone = true
+	}
+	return h.f.gapMin, h.f.gaps
+}
+
+// CriticalPath returns the memoized critical-path analysis.
+func (h *Handle) CriticalPath() *analyzer.CriticalPath {
+	h.f.memoMu.Lock()
+	defer h.f.memoMu.Unlock()
+	if h.f.critpath == nil {
+		h.f.critpath = analyzer.ComputeCriticalPath(h.f.trace)
+	}
+	return h.f.critpath
+}
+
+// Load returns a handle for the trace image, loading it at most once per
+// content address no matter how many requests race: the first request
+// becomes the leader and runs the load under its own ctx; concurrent
+// requests for the same bytes wait on the same flight. If the leader's
+// request is cancelled mid-load, a live waiter retries the load itself
+// rather than failing on the leader's context error.
+func (c *Cache) Load(ctx context.Context, data []byte, lim analyzer.Limits) (*Handle, error) {
+	key := KeyOf(data)
+	for {
+		f, lead := c.acquire(key, false)
+		if lead {
+			tr, err := analyzer.LoadContext(ctx, bytes.NewReader(data), lim)
+			if err == nil {
+				// Validate once while the flight is still exclusive; the
+				// shared trace is immutable from here on.
+				analyzer.Validate(tr)
+				f.trace = tr
+				f.weight = tr.Footprint()
+			}
+			f.err = err
+			c.settle(key, f, false)
+			if err != nil {
+				return nil, err
+			}
+			return &Handle{f}, nil
+		}
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.err != nil {
+			if isCtxErr(f.err) && ctx.Err() == nil {
+				continue // the leader's request died, not ours: retry
+			}
+			return nil, f.err
+		}
+		return &Handle{f}, nil
+	}
+}
+
+// Doctor returns the salvage/recovery report for the trace image, cached
+// and deduplicated exactly like Load. Recoverable damage is a valid
+// (cached) result; only hard failures — cancellation, admission limits —
+// are errors, and those are never cached.
+func (c *Cache) Doctor(ctx context.Context, data []byte, lim analyzer.Limits) (*analyzer.DoctorReport, error) {
+	key := KeyOf(data)
+	for {
+		f, lead := c.acquire(key, true)
+		if lead {
+			d, err := analyzer.DoctorDataContext(ctx, data, lim)
+			if err == nil {
+				f.doctor = d
+				f.weight = 4096
+				if d.Trace != nil {
+					f.weight += d.Trace.Footprint()
+				}
+			}
+			f.err = err
+			c.settle(key, f, true)
+			if err != nil {
+				return nil, err
+			}
+			return d, nil
+		}
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.err != nil {
+			if isCtxErr(f.err) && ctx.Err() == nil {
+				continue
+			}
+			return nil, f.err
+		}
+		return f.doctor, nil
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Dedups: c.dedups,
+		Evictions: c.evictions,
+		Entries:   len(c.entries), Bytes: c.bytes,
+		MaxEntries: c.maxEntries, MaxBytes: c.maxBytes,
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// acquire looks up (or creates) the flight for key. lead reports whether
+// the caller must run the load and settle it. Settled failed flights are
+// removed in settle, so an existing flight seen here is either in flight
+// or a settled success.
+func (c *Cache) acquire(key Key, doctor bool) (f *flight, lead bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		e = &entry{key: key}
+		e.elem = c.ll.PushFront(e)
+		c.entries[key] = e
+	} else {
+		c.ll.MoveToFront(e.elem)
+	}
+	f = e.trace
+	if doctor {
+		f = e.doctor
+	}
+	if f == nil {
+		f = &flight{done: make(chan struct{})}
+		if doctor {
+			e.doctor = f
+		} else {
+			e.trace = f
+		}
+		c.misses++
+		return f, true
+	}
+	if f.settled {
+		c.hits++
+	} else {
+		c.dedups++
+	}
+	return f, false
+}
+
+// settle publishes the flight result: accounts its weight (or removes the
+// failed flight so the next request retries), runs eviction, and releases
+// the waiters.
+func (c *Cache) settle(key Key, f *flight, doctor bool) {
+	c.mu.Lock()
+	f.settled = true
+	e := c.entries[key]
+	if f.err != nil {
+		if e != nil {
+			if doctor && e.doctor == f {
+				e.doctor = nil
+			} else if !doctor && e.trace == f {
+				e.trace = nil
+			}
+			if e.trace == nil && e.doctor == nil {
+				c.ll.Remove(e.elem)
+				delete(c.entries, key)
+			}
+		}
+	} else if e != nil {
+		e.weight += f.weight
+		c.bytes += f.weight
+		c.ll.MoveToFront(e.elem)
+		c.evict(e)
+	}
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// over reports whether either bound is exceeded. Called with mu held.
+func (c *Cache) over() bool {
+	return (c.maxEntries > 0 && len(c.entries) > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes)
+}
+
+// evict removes least-recently-used entries until the cache fits its
+// bounds, skipping in-flight entries and the entry just touched (the
+// request being served needs it regardless of budget). Called with mu
+// held.
+func (c *Cache) evict(keep *entry) {
+	for c.over() {
+		var victim *entry
+		for el := c.ll.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*entry)
+			if e == keep || e.inFlight() {
+				continue
+			}
+			victim = e
+			break
+		}
+		if victim == nil {
+			return
+		}
+		c.ll.Remove(victim.elem)
+		delete(c.entries, victim.key)
+		c.bytes -= victim.weight
+		c.evictions++
+	}
+}

@@ -24,6 +24,16 @@ import (
 //
 // Atomic and barrier orderings are not modeled (the spin is visible as
 // compute on the waiting core), which the report notes.
+//
+// The analysis has three stages: two full-stream preparation scans — the
+// same-core predecessor index and the cross-core dependency match — and
+// the backward walk. The walk is inherently sequential (each hop depends
+// on the previous), but the preparation is not: the predecessor index is
+// independent per core, and the five dependency channels (start, join,
+// out-mbox, in-mbox, signal) touch disjoint event ids and therefore
+// disjoint slots of the dependency array. ComputeCriticalPath runs those
+// scans concurrently on a bounded pool; ComputeCriticalPathSerial is the
+// single-threaded reference it is tested against.
 
 // PathSegment is one hop of the critical path.
 type PathSegment struct {
@@ -50,12 +60,128 @@ type CriticalPath struct {
 	Total uint64
 }
 
-// ComputeCriticalPath runs the backward walk.
+// fifo is one dependency channel queue: pending sender event indices.
+type fifo struct{ q []int }
+
+func (f *fifo) push(i int) { f.q = append(f.q, i) }
+func (f *fifo) pop() int {
+	if len(f.q) == 0 {
+		return -1
+	}
+	v := f.q[0]
+	f.q = f.q[1:]
+	return v
+}
+
+func ensureFifo[K comparable](m map[K]*fifo, k K) *fifo {
+	f := m[k]
+	if f == nil {
+		f = &fifo{}
+		m[k] = f
+	}
+	return f
+}
+
+// sigKey identifies one signal-notification channel: target SPE + register.
+type sigKey struct{ spe, reg uint64 }
+
+// ComputeCriticalPath runs the backward walk. On pipeline-loaded traces
+// the preparation scans run concurrently (see the package comment above);
+// hand-assembled traces fall back to the serial reference.
 func ComputeCriticalPath(tr *Trace) *CriticalPath {
-	cp := &CriticalPath{CoreTicks: map[uint8]uint64{}}
+	if tr.coreIndex == nil || len(tr.Events) == 0 {
+		return ComputeCriticalPathSerial(tr)
+	}
+	n := len(tr.Events)
+	prevOnCore := make([]int, n)
+	crossDep := make([]int, n)
+	for i := range crossDep {
+		crossDep[i] = -1
+	}
+
+	// One task per core for the predecessor index (the per-core views are
+	// stream-ordered and Seq indexes the merged stream), plus one task per
+	// dependency channel. Tasks write disjoint array slots.
+	cores := tr.Cores()
+	tasks := make([]func(), 0, len(cores)+5)
+	for _, c := range cores {
+		evs := tr.coreIndex[c]
+		tasks = append(tasks, func() {
+			prev := -1
+			for i := range evs {
+				prevOnCore[evs[i].Seq] = prev
+				prev = evs[i].Seq
+			}
+		})
+	}
+	tasks = append(tasks,
+		func() { // program launch: PPE_SPE_START -> SPE_PROGRAM_START
+			starts := map[uint64]*fifo{}
+			for i := range tr.Events {
+				switch e := &tr.Events[i]; e.ID {
+				case event.PPESPEStart:
+					ensureFifo(starts, e.Args[0]).push(i)
+				case event.SPEProgramStart:
+					crossDep[i] = ensureFifo(starts, uint64(e.Core)).pop()
+				}
+			}
+		},
+		func() { // join: SPE_PROGRAM_END -> PPE_WAIT_EXIT
+			ends := map[uint8]*fifo{}
+			for i := range tr.Events {
+				switch e := &tr.Events[i]; e.ID {
+				case event.SPEProgramEnd:
+					ensureFifo(ends, e.Core).push(i)
+				case event.PPEWaitExit:
+					crossDep[i] = ensureFifo(ends, uint8(e.Args[0])).pop()
+				}
+			}
+		},
+		func() { // outbound mailbox FIFO per SPE
+			outMbox := map[uint8]*fifo{}
+			for i := range tr.Events {
+				switch e := &tr.Events[i]; e.ID {
+				case event.SPEWriteOutMboxExit, event.SPEWriteIntrMboxExit:
+					ensureFifo(outMbox, e.Core).push(i)
+				case event.PPEReadOutMboxExit, event.PPEReadIntrMboxExit:
+					crossDep[i] = ensureFifo(outMbox, uint8(e.Args[0])).pop()
+				}
+			}
+		},
+		func() { // inbound mailbox FIFO per SPE
+			inMbox := map[uint64]*fifo{}
+			for i := range tr.Events {
+				switch e := &tr.Events[i]; e.ID {
+				case event.PPEWriteInMboxExit:
+					ensureFifo(inMbox, e.Args[0]).push(i)
+				case event.SPEReadInMboxExit:
+					crossDep[i] = ensureFifo(inMbox, uint64(e.Core)).pop()
+				}
+			}
+		},
+		func() { // signal-notification FIFO per SPE+register
+			signals := map[sigKey]*fifo{}
+			for i := range tr.Events {
+				switch e := &tr.Events[i]; e.ID {
+				case event.PPEWriteSignal, event.SPESndsig:
+					ensureFifo(signals, sigKey{e.Args[0], e.Args[1]}).push(i)
+				case event.SPEReadSignalExit:
+					crossDep[i] = ensureFifo(signals, sigKey{uint64(e.Core), e.Args[0]}).pop()
+				}
+			}
+		},
+	)
+	runParallel(0, len(tasks), func(i int) { tasks[i]() })
+	return walkCriticalPath(tr, prevOnCore, crossDep)
+}
+
+// ComputeCriticalPathSerial is the single-threaded reference: one scan
+// builds the per-core predecessor index, one scan matches all five
+// dependency channels, then the shared backward walk runs.
+func ComputeCriticalPathSerial(tr *Trace) *CriticalPath {
 	n := len(tr.Events)
 	if n == 0 {
-		return cp
+		return &CriticalPath{CoreTicks: map[uint8]uint64{}}
 	}
 
 	// prevOnCore[i] = index of the previous event on the same core.
@@ -76,77 +202,47 @@ func ComputeCriticalPath(tr *Trace) *CriticalPath {
 	for i := range crossDep {
 		crossDep[i] = -1
 	}
-	type fifo struct{ q []int }
-	push := func(f *fifo, i int) { f.q = append(f.q, i) }
-	pop := func(f *fifo) int {
-		if len(f.q) == 0 {
-			return -1
-		}
-		v := f.q[0]
-		f.q = f.q[1:]
-		return v
-	}
 	outMbox := map[uint8]*fifo{}  // SPE -> pending out-mbox writes
 	inMbox := map[uint64]*fifo{}  // spe arg -> pending PPE in-mbox writes
-	signals := map[string]*fifo{} // "spe/reg" -> pending signal sends
+	signals := map[sigKey]*fifo{} // spe+reg -> pending signal sends
 	starts := map[uint64]*fifo{}  // spe arg -> pending PPE starts
 	ends := map[uint8]*fifo{}     // SPE -> pending program ends
-
-	ensure := func(m map[uint8]*fifo, k uint8) *fifo {
-		f := m[k]
-		if f == nil {
-			f = &fifo{}
-			m[k] = f
-		}
-		return f
-	}
-	ensure64 := func(m map[uint64]*fifo, k uint64) *fifo {
-		f := m[k]
-		if f == nil {
-			f = &fifo{}
-			m[k] = f
-		}
-		return f
-	}
-	ensureS := func(m map[string]*fifo, k string) *fifo {
-		f := m[k]
-		if f == nil {
-			f = &fifo{}
-			m[k] = f
-		}
-		return f
-	}
 
 	for i := range tr.Events {
 		e := &tr.Events[i]
 		switch e.ID {
 		case event.PPESPEStart:
-			push(ensure64(starts, e.Args[0]), i)
+			ensureFifo(starts, e.Args[0]).push(i)
 		case event.SPEProgramStart:
-			crossDep[i] = pop(ensure64(starts, uint64(e.Core)))
+			crossDep[i] = ensureFifo(starts, uint64(e.Core)).pop()
 		case event.SPEProgramEnd:
-			push(ensure(ends, e.Core), i)
+			ensureFifo(ends, e.Core).push(i)
 		case event.PPEWaitExit:
-			crossDep[i] = pop(ensure(ends, uint8(e.Args[0])))
+			crossDep[i] = ensureFifo(ends, uint8(e.Args[0])).pop()
 		case event.SPEWriteOutMboxExit, event.SPEWriteIntrMboxExit:
-			push(ensure(outMbox, e.Core), i)
+			ensureFifo(outMbox, e.Core).push(i)
 		case event.PPEReadOutMboxExit, event.PPEReadIntrMboxExit:
-			crossDep[i] = pop(ensure(outMbox, uint8(e.Args[0])))
+			crossDep[i] = ensureFifo(outMbox, uint8(e.Args[0])).pop()
 		case event.PPEWriteInMboxExit:
-			push(ensure64(inMbox, e.Args[0]), i)
+			ensureFifo(inMbox, e.Args[0]).push(i)
 		case event.SPEReadInMboxExit:
-			crossDep[i] = pop(ensure64(inMbox, uint64(e.Core)))
+			crossDep[i] = ensureFifo(inMbox, uint64(e.Core)).pop()
 		case event.PPEWriteSignal:
-			push(ensureS(signals, fmt.Sprintf("%d/%d", e.Args[0], e.Args[1])), i)
+			ensureFifo(signals, sigKey{e.Args[0], e.Args[1]}).push(i)
 		case event.SPESndsig:
-			push(ensureS(signals, fmt.Sprintf("%d/%d", e.Args[0], e.Args[1])), i)
+			ensureFifo(signals, sigKey{e.Args[0], e.Args[1]}).push(i)
 		case event.SPEReadSignalExit:
-			crossDep[i] = pop(ensureS(signals, fmt.Sprintf("%d/%d", e.Core, e.Args[0])))
+			crossDep[i] = ensureFifo(signals, sigKey{uint64(e.Core), e.Args[0]}).pop()
 		}
 	}
+	return walkCriticalPath(tr, prevOnCore, crossDep)
+}
 
-	// Backward walk from the last event.
-	cur := n - 1
+// walkCriticalPath is the sequential backward walk over the prepared
+// predecessor and dependency indexes, shared by both implementations.
+func walkCriticalPath(tr *Trace, prevOnCore, crossDep []int) *CriticalPath {
+	cp := &CriticalPath{CoreTicks: map[uint8]uint64{}}
+	cur := len(tr.Events) - 1
 	for cur >= 0 {
 		e := &tr.Events[cur]
 		prev := prevOnCore[cur]
@@ -186,7 +282,12 @@ func ComputeCriticalPath(tr *Trace) *CriticalPath {
 // WriteCriticalPath renders the analysis: per-core attribution and the
 // largest segments.
 func WriteCriticalPath(tr *Trace, w io.Writer, topN int) {
-	cp := ComputeCriticalPath(tr)
+	WriteCriticalPathFrom(ComputeCriticalPath(tr), w, topN)
+}
+
+// WriteCriticalPathFrom renders an already-computed critical path, letting
+// callers reuse a memoized result.
+func WriteCriticalPathFrom(cp *CriticalPath, w io.Writer, topN int) {
 	if cp.Total == 0 {
 		fmt.Fprintln(w, "(empty trace)")
 		return

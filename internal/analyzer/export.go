@@ -125,11 +125,18 @@ type jsonProfilePair struct {
 // first, like WriteProfile) as JSON. Confidence appears only on degraded
 // traces, mirroring the human-readable table.
 func WriteProfileJSON(tr *Trace, w io.Writer) error {
+	return WriteProfilePairsJSON(tr, Profile(tr), w)
+}
+
+// WriteProfilePairsJSON exports an already-computed profile as JSON,
+// letting the cached service path reuse a memoized result instead of
+// rescanning the trace.
+func WriteProfilePairsJSON(tr *Trace, pairs []PairProfile, w io.Writer) error {
 	degraded := tr.Confidence.Degraded()
 	out := struct {
 		Intervals []jsonProfilePair `json:"intervals"`
 	}{Intervals: []jsonProfilePair{}}
-	for _, p := range Profile(tr) {
+	for _, p := range pairs {
 		name := p.Enter.String()
 		if n := len(name); n > 6 && name[n-6:] == "_ENTER" {
 			name = name[:n-6]
@@ -145,6 +152,67 @@ func WriteProfileJSON(tr *Trace, w io.Writer) error {
 			jp.Confidence = p.Confidence
 		}
 		out.Intervals = append(out.Intervals, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// jsonGap is the JSON shape of one event-free stretch.
+type jsonGap struct {
+	Run       int    `json:"run"`
+	Core      uint8  `json:"core"`
+	StartTick uint64 `json:"startTick"`
+	EndTick   uint64 `json:"endTick"`
+	Ticks     uint64 `json:"ticks"`
+}
+
+// WriteGapsJSON exports an already-computed gap report (threshold plus
+// the gaps FindGaps returned for it) as JSON, served by pdt-tad's
+// /v1/gaps endpoint.
+func WriteGapsJSON(minTicks uint64, gaps []Gap, w io.Writer) error {
+	out := struct {
+		MinTicks uint64    `json:"minTicks"`
+		Gaps     []jsonGap `json:"gaps"`
+	}{MinTicks: minTicks, Gaps: []jsonGap{}}
+	for _, g := range gaps {
+		out.Gaps = append(out.Gaps, jsonGap{
+			Run: g.Run, Core: g.Core, StartTick: g.Start, EndTick: g.End, Ticks: g.Dur(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// jsonPathSegment is the JSON shape of one critical-path hop.
+type jsonPathSegment struct {
+	Core      string `json:"core"`
+	Run       int    `json:"run"`
+	StartTick uint64 `json:"startTick"`
+	EndTick   uint64 `json:"endTick"`
+	Ticks     uint64 `json:"ticks"`
+	Via       string `json:"via"`
+	Cross     bool   `json:"cross"`
+}
+
+// WriteCriticalPathJSON exports an already-computed critical path as
+// JSON, served by pdt-tad's /v1/critpath endpoint.
+func WriteCriticalPathJSON(cp *CriticalPath, w io.Writer) error {
+	out := struct {
+		TotalTicks uint64            `json:"totalTicks"`
+		CoreTicks  map[string]uint64 `json:"coreTicks"`
+		Segments   []jsonPathSegment `json:"segments"`
+	}{TotalTicks: cp.Total, CoreTicks: map[string]uint64{}, Segments: []jsonPathSegment{}}
+	for c, t := range cp.CoreTicks {
+		out.CoreTicks[event.CoreName(c)] = t
+	}
+	for _, s := range cp.Segments {
+		out.Segments = append(out.Segments, jsonPathSegment{
+			Core: event.CoreName(s.Core), Run: s.Run,
+			StartTick: s.Start, EndTick: s.End, Ticks: s.Dur(),
+			Via: s.Via.String(), Cross: s.Cross,
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -67,7 +67,13 @@ func WriteGaps(tr *Trace, minTicks uint64, topN int, w io.Writer) {
 	if minTicks == 0 {
 		minTicks = SuggestGapThreshold(tr)
 	}
-	gaps := FindGaps(tr, minTicks)
+	WriteGapsFound(minTicks, FindGaps(tr, minTicks), topN, w)
+}
+
+// WriteGapsFound renders an already-computed gap report, letting callers
+// (the cached service path, the concurrent report path) reuse a memoized
+// result.
+func WriteGapsFound(minTicks uint64, gaps []Gap, topN int, w io.Writer) {
 	fmt.Fprintf(w, "event-free stretches >= %d ticks: %d found\n", minTicks, len(gaps))
 	if topN > len(gaps) {
 		topN = len(gaps)

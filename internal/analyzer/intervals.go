@@ -145,7 +145,35 @@ func RunIntervals(tr *Trace, run int) []Interval {
 }
 
 // Intervals reconstructs state intervals for every SPE run in the trace.
+// Each run's reconstruction is independent (RunIntervals only reads that
+// run's event view), so the per-run scans execute concurrently on a
+// bounded pool and are concatenated in run order — the exact output of
+// IntervalsSerial.
 func Intervals(tr *Trace) []Interval {
+	n := len(tr.Meta.Anchors)
+	if n < 2 {
+		return IntervalsSerial(tr)
+	}
+	parts := make([][]Interval, n)
+	runParallel(0, n, func(run int) {
+		parts[run] = RunIntervals(tr, run)
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Interval, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// IntervalsSerial is the sequential reference for Intervals.
+func IntervalsSerial(tr *Trace) []Interval {
 	var out []Interval
 	for run := range tr.Meta.Anchors {
 		out = append(out, RunIntervals(tr, run)...)
@@ -168,7 +196,28 @@ var ppeStallState = map[event.ID]State{
 // by the host's blocking calls. Returns nil when the trace has no PPE
 // events. The interval Run field is -1 for the main thread, -2 for the
 // first spawned thread, and so on.
+//
+// Each thread's lane depends only on that thread's stream-ordered events,
+// so the per-thread scans run concurrently over the per-core views and
+// are concatenated in thread order — the exact output of
+// PPEIntervalsSerial, which rescans the full stream once per possible
+// thread.
 func PPEIntervals(tr *Trace) []Interval {
+	n := int(event.CorePPE) - int(event.CorePPEBase) + 1
+	parts := make([][]Interval, n)
+	runParallel(0, n, func(i int) {
+		core := uint8(int(event.CorePPE) - i)
+		parts[i] = ppeLaneIntervals(tr.CoreEvents(core), core, -1-i)
+	})
+	var out []Interval
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// PPEIntervalsSerial is the sequential reference for PPEIntervals.
+func PPEIntervalsSerial(tr *Trace) []Interval {
 	var out []Interval
 	for core := int(event.CorePPE); core >= int(event.CorePPEBase); core-- {
 		out = append(out, ppeThreadIntervals(tr, uint8(core), -1-(int(event.CorePPE)-core))...)
@@ -176,7 +225,60 @@ func PPEIntervals(tr *Trace) []Interval {
 	return out
 }
 
-// ppeThreadIntervals builds the lane of one PPE thread.
+// ppeLaneIntervals builds the lane of one PPE thread from its own
+// stream-ordered event view.
+func ppeLaneIntervals(evs []Event, core uint8, run int) []Interval {
+	var out []Interval
+	var cursor, lastPPE uint64
+	var started bool
+	var open bool
+	var openState State
+	var openStart uint64
+	emit := func(state State, start, end uint64) {
+		if end > start {
+			out = append(out, Interval{Core: core, Run: run, State: state, Start: start, End: end})
+		}
+	}
+	for i := range evs {
+		e := &evs[i]
+		if !started {
+			started = true
+			cursor = e.Global
+		}
+		lastPPE = e.Global
+		info, ok := event.Lookup(e.ID)
+		if !ok {
+			continue
+		}
+		switch info.Kind {
+		case event.KindEnter:
+			if st, stalls := ppeStallState[e.ID]; stalls && !open {
+				emit(StateCompute, cursor, e.Global)
+				open = true
+				openState = st
+				openStart = e.Global
+			}
+		case event.KindExit:
+			if open && ppeStallState[info.Pair] == openState {
+				emit(openState, openStart, e.Global)
+				open = false
+				cursor = e.Global
+			}
+		}
+	}
+	if !started {
+		return nil
+	}
+	if open {
+		emit(openState, openStart, lastPPE) // truncated trace
+	} else {
+		emit(StateCompute, cursor, lastPPE)
+	}
+	return out
+}
+
+// ppeThreadIntervals builds the lane of one PPE thread by scanning the
+// merged stream (the serial reference path).
 func ppeThreadIntervals(tr *Trace, core uint8, run int) []Interval {
 	var out []Interval
 	var cursor, lastPPE uint64

@@ -1,0 +1,61 @@
+package analyzer_test
+
+// Equivalence suite for the parallel analysis kernels: for every
+// registered workload, the sharded Profile, ComputeCriticalPath,
+// Intervals, and PPEIntervals must return results deeply equal to their
+// serial references — same values, same order. Run under -race this also
+// proves the shards touch disjoint state.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/harness"
+	"github.com/celltrace/pdt/internal/workloads"
+)
+
+func loadWorkloadTrace(t *testing.T, name string) *analyzer.Trace {
+	t.Helper()
+	params, ok := equivParams[name]
+	if !ok {
+		t.Fatalf("no equivalence params for workload %q — add it to equivParams", name)
+	}
+	cfg := core.DefaultTraceConfig()
+	res, err := harness.Run(harness.Spec{Workload: name, Params: params, Trace: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := analyzer.Load(bytes.NewReader(res.TraceBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("workload produced no records")
+	}
+	return tr
+}
+
+func TestParallelKernelsMatchSerialAllWorkloads(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr := loadWorkloadTrace(t, name)
+
+			if want, got := analyzer.ProfileSerial(tr), analyzer.Profile(tr); !reflect.DeepEqual(want, got) {
+				t.Errorf("Profile differs from serial:\nserial   %+v\nparallel %+v", want, got)
+			}
+			if want, got := analyzer.ComputeCriticalPathSerial(tr), analyzer.ComputeCriticalPath(tr); !reflect.DeepEqual(want, got) {
+				t.Errorf("ComputeCriticalPath differs from serial:\nserial   %+v\nparallel %+v", want, got)
+			}
+			if want, got := analyzer.IntervalsSerial(tr), analyzer.Intervals(tr); !reflect.DeepEqual(want, got) {
+				t.Errorf("Intervals differs from serial: %d vs %d intervals", len(want), len(got))
+			}
+			if want, got := analyzer.PPEIntervalsSerial(tr), analyzer.PPEIntervals(tr); !reflect.DeepEqual(want, got) {
+				t.Errorf("PPEIntervals differs from serial: %d vs %d intervals", len(want), len(got))
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+package analyzer
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// runParallel runs n independent tasks on a bounded pool of at most
+// `workers` goroutines (GOMAXPROCS when workers <= 0) and returns once
+// every task has finished. Tasks are handed out through a shared counter,
+// so uneven task costs balance across the pool. A panic inside a task is
+// captured and re-raised on the calling goroutine, preserving the
+// panic-containment contract of the serial kernels (pdt-tad's recovery
+// middleware can only catch panics on the handler goroutine).
+func runParallel(workers, n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var panicked atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicked.CompareAndSwap(nil, v)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := panicked.Load(); v != nil {
+		panic(v)
+	}
+}
+
+// Cores returns the distinct core ids present in the trace, ascending.
+// On pipeline-loaded traces this reads the precomputed index; on
+// hand-assembled traces it scans the stream.
+func (tr *Trace) Cores() []uint8 {
+	var out []uint8
+	if tr.coreIndex != nil {
+		out = make([]uint8, 0, len(tr.coreIndex))
+		for c := range tr.coreIndex {
+			out = append(out, c)
+		}
+	} else {
+		var seen [256]bool
+		for i := range tr.Events {
+			c := tr.Events[i].Core
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Footprint estimates the resident size of the loaded trace in bytes:
+// the merged event stream plus its per-core/per-run index copies, at the
+// same per-record budget the decode admission control charges. The trace
+// cache uses it as the entry weight for its byte bound.
+func (tr *Trace) Footprint() int64 {
+	return int64(len(tr.Events))*eventFootprint + 4096
+}

@@ -3,7 +3,7 @@ package analyzer
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"github.com/celltrace/pdt/internal/core/event"
 )
@@ -25,7 +25,44 @@ type PairProfile struct {
 // Profile computes per-pair interval statistics over the whole trace.
 // Pairs are matched per core in stream order; unmatched enters (truncated
 // traces) are dropped.
+//
+// Matching is independent per core, so on pipeline-loaded traces the
+// per-core streams are profiled concurrently and the per-core
+// accumulators merged (count and histogram sums are commutative, the
+// confidence is a min), which produces exactly the result of
+// ProfileSerial's single scan. Hand-assembled traces without the core
+// index fall back to the serial scan.
 func Profile(tr *Trace) []PairProfile {
+	cores := tr.Cores()
+	if tr.coreIndex == nil || len(cores) < 2 {
+		return ProfileSerial(tr)
+	}
+	parts := make([]map[event.ID]*PairProfile, len(cores))
+	runParallel(0, len(cores), func(i int) {
+		parts[i] = profileCore(tr, cores[i])
+	})
+	acc := map[event.ID]*PairProfile{}
+	for _, part := range parts {
+		for id, p := range part {
+			q := acc[id]
+			if q == nil {
+				cp := *p
+				acc[id] = &cp
+				continue
+			}
+			q.Count += p.Count
+			q.Ticks.Merge(&p.Ticks)
+			if p.Confidence < q.Confidence {
+				q.Confidence = p.Confidence
+			}
+		}
+	}
+	return sortProfiles(acc)
+}
+
+// ProfileSerial is the single-scan reference implementation Profile's
+// sharded version is tested against.
+func ProfileSerial(tr *Trace) []PairProfile {
 	open := map[uint8]map[event.ID]uint64{} // core -> enterID -> start
 	acc := map[event.ID]*PairProfile{}
 	for _, e := range tr.Events {
@@ -63,15 +100,69 @@ func Profile(tr *Trace) []PairProfile {
 			}
 		}
 	}
+	return sortProfiles(acc)
+}
+
+// profileCore matches Enter/Exit pairs over one core's stream-ordered
+// event view. The core's record-survival fraction is constant, so the
+// per-pair confidence is simply the min across contributing cores at
+// merge time.
+func profileCore(tr *Trace, core uint8) map[event.ID]*PairProfile {
+	evs := tr.coreIndex[core]
+	open := map[event.ID]uint64{}
+	acc := map[event.ID]*PairProfile{}
+	conf := tr.Confidence.ForCore(core)
+	for i := range evs {
+		e := &evs[i]
+		info, ok := event.Lookup(e.ID)
+		if !ok {
+			continue
+		}
+		switch info.Kind {
+		case event.KindEnter:
+			open[e.ID] = e.Global
+		case event.KindExit:
+			start, ok := open[info.Pair]
+			if !ok {
+				break
+			}
+			delete(open, info.Pair)
+			p := acc[info.Pair]
+			if p == nil {
+				p = &PairProfile{Enter: info.Pair, Confidence: 1}
+				acc[info.Pair] = p
+			}
+			p.Count++
+			p.Ticks.Add(e.Global - start)
+			if conf < p.Confidence {
+				p.Confidence = conf
+			}
+		}
+	}
+	return acc
+}
+
+// sortProfiles flattens the accumulator into the report order: most
+// expensive pair first, ties broken by enter id so the order is total.
+func sortProfiles(acc map[event.ID]*PairProfile) []PairProfile {
 	out := make([]PairProfile, 0, len(acc))
 	for _, p := range acc {
 		out = append(out, *p)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Ticks.Sum != out[j].Ticks.Sum {
-			return out[i].Ticks.Sum > out[j].Ticks.Sum
+	slices.SortFunc(out, func(a, b PairProfile) int {
+		if a.Ticks.Sum != b.Ticks.Sum {
+			if a.Ticks.Sum > b.Ticks.Sum {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Enter < out[j].Enter
+		if a.Enter != b.Enter {
+			if a.Enter < b.Enter {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	return out
 }
@@ -81,13 +172,20 @@ func Profile(tr *Trace) []PairProfile {
 // record-survival fraction behind each row; clean traces keep the
 // original layout.
 func WriteProfile(tr *Trace, w io.Writer) {
+	WriteProfilePairs(tr, Profile(tr), w)
+}
+
+// WriteProfilePairs renders an already-computed profile, letting callers
+// (the cached service path, the concurrent report path) reuse a memoized
+// result instead of rescanning the trace.
+func WriteProfilePairs(tr *Trace, pairs []PairProfile, w io.Writer) {
 	degraded := tr.Confidence.Degraded()
 	fmt.Fprintf(w, "%-28s %8s %12s %12s %12s", "interval", "count", "total ticks", "mean", "max")
 	if degraded {
 		fmt.Fprintf(w, " %6s", "conf")
 	}
 	fmt.Fprintln(w)
-	for _, p := range Profile(tr) {
+	for _, p := range pairs {
 		name := p.Enter.String()
 		// Strip the _ENTER suffix for readability.
 		if n := len(name); n > 6 && name[n-6:] == "_ENTER" {

@@ -33,6 +33,20 @@ func (h *Histogram) Add(v uint64) {
 	}
 }
 
+// Merge folds another histogram into this one. All fields are sums (or a
+// max), so merging per-shard histograms yields exactly the histogram a
+// single sequential scan would have produced.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
 // Mean returns the average recorded value.
 func (h *Histogram) Mean() float64 {
 	if h.Count == 0 {
