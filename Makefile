@@ -1,9 +1,16 @@
 # Tier-1 gate: `make ci` is what CI and pre-merge checks run.
 GO ?= go
 
-.PHONY: ci fmt vet staticcheck build test race bench bench-analysis bench-analysis-short fuzz-smoke fuzz smoke-tad
+# COVER_BASELINE is the committed total-statement-coverage floor for
+# `make cover-check`. Update it deliberately (and review why) when
+# coverage genuinely moves; it should trail the measured total by a
+# small margin so routine refactors don't trip it.
+COVER_BASELINE ?= 84.0
 
-ci: fmt vet staticcheck build race bench bench-analysis-short fuzz-smoke smoke-tad
+.PHONY: ci fmt vet staticcheck build test race bench bench-analysis bench-analysis-short \
+	bench-check bench-check-short bench-baseline cover cover-check fuzz-smoke fuzz smoke-tad
+
+ci: fmt vet staticcheck build race bench cover-check bench-check-short fuzz-smoke smoke-tad
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -51,6 +58,33 @@ bench-analysis:
 bench-analysis-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace' -benchtime 1x -short .
 	$(GO) test -run '^$$' -bench BenchmarkTADSummary -benchtime 1x -short ./cmd/pdt-tad
+
+# Benchmark regression gate: run the four reference benchmarks (trace
+# load, interval profile, critical path, end-to-end TAD summary) and
+# fail on any result >25% slower than BENCH_baseline.json. The short
+# variant (10x smaller traces) is what ci runs; bench-baseline rewrites
+# the committed baseline — only after verifying the change is real.
+bench-check:
+	$(GO) run ./internal/tools/benchcheck -baseline BENCH_baseline.json
+
+bench-check-short:
+	$(GO) run ./internal/tools/benchcheck -short -baseline BENCH_baseline.json
+
+bench-baseline:
+	$(GO) run ./internal/tools/benchcheck -update -baseline BENCH_baseline.json
+
+# Coverage: `make cover` prints per-package and total statement
+# coverage; `make cover-check` additionally fails when the total drops
+# below the committed COVER_BASELINE floor.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | grep '^total:'
+
+cover-check: cover
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	awk -v t="$$total" -v b="$(COVER_BASELINE)" 'BEGIN { exit !(t+0 >= b+0) }' || \
+		{ echo "coverage regression: $$total% < committed baseline $(COVER_BASELINE)%"; exit 1; }; \
+	echo "coverage ok: $$total% >= baseline $(COVER_BASELINE)%"
 
 # Replay the checked-in fuzz corpora (seed inputs + past findings) as
 # plain tests — fast, deterministic, no fuzzing engine. Covers the

@@ -84,6 +84,10 @@ func BenchmarkE12BarrierAblation(b *testing.B) { benchExperiment(b, "E12") }
 // BenchmarkE13Scaling regenerates Figure 9 (speedup vs SPE count).
 func BenchmarkE13Scaling(b *testing.B) { benchExperiment(b, "E13") }
 
+// BenchmarkE14OverheadDiff regenerates Table 8 (overhead attribution by
+// trace differencing across instrumentation levels).
+func BenchmarkE14OverheadDiff(b *testing.B) { benchExperiment(b, "E14") }
+
 // ---- micro-benchmarks of the hot paths backing the tables ----
 
 // BenchmarkRecordEncode measures trace-record serialization.

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/harness"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden CLI output files")
+
+// goldenWorkloadTrace runs the fixed golden workload (julia, small and
+// deterministic) with the given event-group mask and writes the trace
+// where the CLI can read it.
+func goldenWorkloadTrace(t *testing.T, groups event.Group) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.pdt")
+	cfg := core.DefaultTraceConfig()
+	cfg.Groups = groups
+	_, err := harness.Run(harness.Spec{
+		Workload:  "julia",
+		Params:    map[string]string{"w": "64", "h": "32", "maxiter": "32", "mode": "dynamic"},
+		Trace:     &cfg,
+		TracePath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// checkGolden compares CLI output to testdata/<name>, rewriting the file
+// under -update-golden (review the diff before committing).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s rewritten (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s output drifted from %s — if the change is intentional, "+
+			"re-run with -update-golden and review the diff.\n--- got ---\n%s",
+			t.Name(), path, got)
+	}
+}
+
+// TestGoldenReport pins the combined `pdt-ta report` text byte-for-byte:
+// any drift in the summary, profile, gap, or critical-path renderers (or
+// in the simulator's schedule) shows up here.
+func TestGoldenReport(t *testing.T) {
+	path := goldenWorkloadTrace(t, event.GroupAll)
+	var out bytes.Buffer
+	if err := run([]string{"report", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.golden", out.Bytes())
+}
+
+// TestGoldenDiff pins `pdt-ta diff` for the reduced-vs-full comparison
+// the overhead experiments use, in both text and JSON form.
+func TestGoldenDiff(t *testing.T) {
+	reduced := goldenWorkloadTrace(t, event.GroupLifecycle|event.GroupMFC)
+	full := goldenWorkloadTrace(t, event.GroupAll)
+
+	var text bytes.Buffer
+	if err := run([]string{"diff", reduced, full}, &text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diff.golden", text.Bytes())
+
+	var js bytes.Buffer
+	if err := run([]string{"diff", "-json", reduced, full}, &js); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diff.json.golden", js.Bytes())
+}

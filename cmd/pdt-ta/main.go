@@ -16,6 +16,7 @@
 //	pdt-ta slack trace.pdt
 //	pdt-ta bw -n 20 trace.pdt
 //	pdt-ta compare before.pdt after.pdt
+//	pdt-ta diff baseline.pdt instrumented.pdt
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"sync"
 
 	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/analyzer/diff"
 	"github.com/celltrace/pdt/internal/core/traceio"
 )
 
@@ -94,7 +96,7 @@ func report(tr *analyzer.Trace, out io.Writer) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: pdt-ta <summary|report|timeline|svg|html|csv|json|validate|doctor|events|profile|tags|intervals|slack|bw|compensate|critpath|gaps|compare> [flags] trace.pdt [trace2.pdt]")
+	return fmt.Errorf("usage: pdt-ta <summary|report|timeline|svg|html|csv|json|validate|doctor|events|profile|tags|intervals|slack|bw|compensate|critpath|gaps|compare|diff> [flags] trace.pdt [trace2.pdt]")
 }
 
 func run(args []string, out io.Writer) error {
@@ -109,6 +111,7 @@ func run(args []string, out io.Writer) error {
 	svgOut := fs.String("o", "", "output path (svg; empty = stdout)")
 	maxEvents := fs.Int("n", 0, "max events to print (events; 0 = all)")
 	gapTicks := fs.Int("min", 0, "minimum gap ticks (gaps; 0 = auto threshold)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of text (diff)")
 	timeout := fs.Duration("timeout", 0, "abort the whole command after this wall-clock duration (exit status 3)")
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -120,7 +123,7 @@ func run(args []string, out io.Writer) error {
 		defer cancel()
 	}
 	wantArgs := 1
-	if cmd == "compare" {
+	if cmd == "compare" || cmd == "diff" {
 		wantArgs = 2
 	}
 	if fs.NArg() != wantArgs {
@@ -150,6 +153,20 @@ func run(args []string, out io.Writer) error {
 		}
 		c := analyzer.Compare(analyzer.Summarize(tr), analyzer.Summarize(tr2))
 		analyzer.RenderComparison(c, "A:"+fs.Arg(0), "B:"+fs.Arg(1), out)
+		return nil
+	case "diff":
+		tr2, err := loadFriendly(ctx, fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		rep, err := diff.Diff(tr, tr2, diff.Options{})
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return rep.WriteJSON(out)
+		}
+		rep.Write(out)
 		return nil
 	case "html":
 		analyzer.Validate(tr)

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// diffBoundary is the fixed multipart boundary the test requests use.
+const diffBoundary = "pdtdiffboundary"
+
+// diffBody encodes two trace images as the multipart body /v1/diff
+// accepts (fields "a" and "b").
+func diffBody(t testing.TB, a, b []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	if err := mw.SetBoundary(diffBoundary); err != nil {
+		t.Fatal(err)
+	}
+	for _, side := range []struct {
+		name string
+		data []byte
+	}{{"a", a}, {"b", b}} {
+		fw, err := mw.CreateFormFile(side.name, side.name+".pdt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(side.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// postDiff sends one /v1/diff request through the full handler stack.
+func postDiff(t testing.TB, s *server, body []byte, contentType string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/diff", bytes.NewReader(body))
+	req.Header.Set("Content-Type", contentType)
+	rec := httptest.NewRecorder()
+	s.handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// corruptTrace flips a run of bytes in the middle of a valid image —
+// recoverable damage, so the doctor reports partial confidence.
+func corruptTrace(data []byte) []byte {
+	bad := append([]byte(nil), data...)
+	for i := len(bad) / 2; i < len(bad)/2+32 && i < len(bad); i++ {
+		bad[i] ^= 0xFF
+	}
+	return bad
+}
+
+// TestDiffEndpoint drives the happy path through both request encodings
+// and both cache modes.
+func TestDiffEndpoint(t *testing.T) {
+	a := buildNamedTrace(t, "wl", 40)
+	b := buildNamedTrace(t, "wl", 80)
+
+	for _, tc := range []struct {
+		name  string
+		cache bool
+	}{{"cached", true}, {"uncached", false}} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := defaultConfig()
+			if !tc.cache {
+				cfg.cacheBytes, cfg.cacheEntries = 0, 0
+			}
+			s := newServer(cfg, quietLogger())
+
+			rec := postDiff(t, s, diffBody(t, a, b), "multipart/form-data; boundary="+diffBoundary)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("multipart diff: status %d, body %s", rec.Code, rec.Body.String())
+			}
+			var rep struct {
+				Workload    string `json:"workload"`
+				RecordDelta int64  `json:"recordDelta"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Workload != "wl" || rep.RecordDelta != 40 {
+				t.Fatalf("diff report = %+v, want workload wl with recordDelta 40", rep)
+			}
+
+			jsonBody := fmt.Sprintf(`{"a":%q,"b":%q}`,
+				base64.StdEncoding.EncodeToString(a), base64.StdEncoding.EncodeToString(b))
+			rec = postDiff(t, s, []byte(jsonBody), "application/json")
+			if rec.Code != http.StatusOK {
+				t.Fatalf("json diff: status %d, body %s", rec.Code, rec.Body.String())
+			}
+			var rep2 struct {
+				RecordDelta int64 `json:"recordDelta"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &rep2); err != nil {
+				t.Fatal(err)
+			}
+			if rep2.RecordDelta != rep.RecordDelta {
+				t.Fatalf("json and multipart encodings disagree: %d vs %d",
+					rep2.RecordDelta, rep.RecordDelta)
+			}
+		})
+	}
+}
+
+// TestDiffEndpointCacheReuse verifies each side loads once: two diffs
+// referencing the same images must hit, not re-load.
+func TestDiffEndpointCacheReuse(t *testing.T) {
+	a := buildNamedTrace(t, "wl", 40)
+	b := buildNamedTrace(t, "wl", 80)
+	s := newServer(defaultConfig(), quietLogger())
+
+	if rec := postDiff(t, s, diffBody(t, a, b), "multipart/form-data; boundary="+diffBoundary); rec.Code != http.StatusOK {
+		t.Fatalf("first diff: status %d", rec.Code)
+	}
+	if rec := postDiff(t, s, diffBody(t, a, b), "multipart/form-data; boundary="+diffBoundary); rec.Code != http.StatusOK {
+		t.Fatalf("second diff: status %d", rec.Code)
+	}
+	st := s.cache.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("cache stats %+v: want exactly 2 misses (one per distinct image)", st)
+	}
+	if st.Hits < 2 {
+		t.Fatalf("cache stats %+v: second diff should have hit both sides", st)
+	}
+}
+
+// TestDiffEndpointNegative is the table-driven negative-path sweep: a
+// corrupt side must come back as a doctor-style 422 naming the side with
+// partial confidence, a workload mismatch as a clear 400, and malformed
+// bodies as 400 — in both cache modes.
+func TestDiffEndpointNegative(t *testing.T) {
+	good := buildNamedTrace(t, "wl", 40)
+	other := buildNamedTrace(t, "mismatched", 40)
+	corrupt := corruptTrace(buildNamedTrace(t, "wl", 80))
+
+	cases := []struct {
+		name        string
+		body        func(t *testing.T) []byte
+		contentType string
+		wantStatus  int
+		wantInBody  []string
+		checkDoctor string // side whose doctor report must appear, "" = none
+	}{
+		{
+			name:        "corrupt side a",
+			body:        func(t *testing.T) []byte { return diffBody(t, corrupt, good) },
+			contentType: "multipart/form-data; boundary=" + diffBoundary,
+			wantStatus:  http.StatusUnprocessableEntity,
+			wantInBody:  []string{`"side": "a"`, "corrupt"},
+			checkDoctor: "a",
+		},
+		{
+			name:        "corrupt side b",
+			body:        func(t *testing.T) []byte { return diffBody(t, good, corrupt) },
+			contentType: "multipart/form-data; boundary=" + diffBoundary,
+			wantStatus:  http.StatusUnprocessableEntity,
+			wantInBody:  []string{`"side": "b"`},
+			checkDoctor: "b",
+		},
+		{
+			name:        "mismatched workloads",
+			body:        func(t *testing.T) []byte { return diffBody(t, good, other) },
+			contentType: "multipart/form-data; boundary=" + diffBoundary,
+			wantStatus:  http.StatusBadRequest,
+			wantInBody:  []string{"different workloads", "wl", "mismatched"},
+		},
+		{
+			name:        "missing side b",
+			body:        func(t *testing.T) []byte { return diffBody(t, good, nil) },
+			contentType: "multipart/form-data; boundary=" + diffBoundary,
+			wantStatus:  http.StatusBadRequest,
+			wantInBody:  []string{"both sides"},
+		},
+		{
+			name:        "not multipart, not json",
+			body:        func(t *testing.T) []byte { return good },
+			contentType: "application/octet-stream",
+			wantStatus:  http.StatusBadRequest,
+		},
+		{
+			name:        "multipart without boundary",
+			body:        func(t *testing.T) []byte { return diffBody(t, good, good) },
+			contentType: "multipart/form-data",
+			wantStatus:  http.StatusBadRequest,
+			wantInBody:  []string{"boundary"},
+		},
+	}
+
+	for _, mode := range []struct {
+		name  string
+		cache bool
+	}{{"cached", true}, {"uncached", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			for _, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) {
+					cfg := defaultConfig()
+					if !mode.cache {
+						cfg.cacheBytes, cfg.cacheEntries = 0, 0
+					}
+					s := newServer(cfg, quietLogger())
+					rec := postDiff(t, s, tc.body(t), tc.contentType)
+					if rec.Code != tc.wantStatus {
+						t.Fatalf("status %d, want %d; body %s", rec.Code, tc.wantStatus, rec.Body.String())
+					}
+					body := rec.Body.String()
+					var v any
+					if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+						t.Fatalf("status %d with non-JSON body %q", rec.Code, body)
+					}
+					for _, want := range tc.wantInBody {
+						if !strings.Contains(body, want) {
+							t.Errorf("body missing %q: %s", want, body)
+						}
+					}
+					if tc.checkDoctor != "" {
+						var doc struct {
+							Side   string `json:"side"`
+							Doctor struct {
+								Verdict     string  `json:"verdict"`
+								Recoverable bool    `json:"recoverable"`
+								Confidence  float64 `json:"confidence"`
+							} `json:"doctor"`
+						}
+						if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+							t.Fatal(err)
+						}
+						if doc.Side != tc.checkDoctor {
+							t.Errorf("doc.side = %q, want %q", doc.Side, tc.checkDoctor)
+						}
+						if doc.Doctor.Verdict == "" {
+							t.Error("422 body carries no doctor verdict")
+						}
+						if doc.Doctor.Recoverable && !(doc.Doctor.Confidence > 0 && doc.Doctor.Confidence < 1) {
+							t.Errorf("recoverable corrupt side should report partial confidence, got %v",
+								doc.Doctor.Confidence)
+						}
+					}
+				})
+			}
+		})
+	}
+}

@@ -14,6 +14,13 @@ import (
 // buildValidTrace produces a structurally valid trace image for mutation
 // (the cmd-level sibling of traceio's buildValid).
 func buildValidTrace(t *testing.T) []byte {
+	return buildNamedTrace(t, "fuzz", 40)
+}
+
+// buildNamedTrace builds a valid single-core trace image with a chosen
+// workload name and record count, so diff tests can produce same- and
+// cross-workload pairs with distinct content addresses.
+func buildNamedTrace(t *testing.T, workload string, records int) []byte {
 	t.Helper()
 	var out bytes.Buffer
 	w, err := traceio.NewWriter(&out, traceio.Header{
@@ -23,13 +30,13 @@ func buildValidTrace(t *testing.T) []byte {
 		t.Fatal(err)
 	}
 	if err := w.WriteMeta(&traceio.Meta{
-		Workload: "fuzz",
+		Workload: workload,
 		Anchors:  []traceio.Anchor{{SPE: 0, Timebase: 100, Loaded: 0xFFFFFFFF, Program: "p"}},
 	}); err != nil {
 		t.Fatal(err)
 	}
 	var data []byte
-	for i := 0; i < 40; i++ {
+	for i := 0; i < records; i++ {
 		r := event.Record{ID: event.SPEMFCGet, Core: 0, Flags: event.FlagDecrTime,
 			Time: uint64(i * 10), Args: []uint64{0, 64, 128, uint64(i % 16)}}
 		data, err = r.AppendTo(data)
@@ -98,6 +105,40 @@ func FuzzTADHandler(f *testing.F) {
 			if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
 				t.Fatalf("%s: status %d with non-JSON body %q",
 					path, res.StatusCode, rec.Body.String())
+			}
+		}
+
+		// /v1/diff with the pristine base as side a and the mutated bytes
+		// as side b: a clean diff, a 4xx, anything but a 500 — and the
+		// body must stay JSON either way. The raw mutated bytes are also
+		// thrown at the endpoint directly (they parse as neither encoding,
+		// which must map to a clean 400).
+		diffReqs := []struct {
+			body []byte
+			ct   string
+		}{
+			{diffBody(t, valid, data), "multipart/form-data; boundary=" + diffBoundary},
+			{data, "application/octet-stream"},
+		}
+		for _, dr := range diffReqs {
+			req := httptest.NewRequest(http.MethodPost, "/v1/diff", bytes.NewReader(dr.body))
+			req.Header.Set("Content-Type", dr.ct)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			res := rec.Result()
+			if res.StatusCode == http.StatusInternalServerError {
+				t.Fatalf("/v1/diff: mutated side produced a 500: %s", rec.Body.String())
+			}
+			switch res.StatusCode {
+			case http.StatusOK, http.StatusBadRequest,
+				http.StatusRequestEntityTooLarge, http.StatusUnprocessableEntity:
+			default:
+				t.Fatalf("/v1/diff: unexpected status %d", res.StatusCode)
+			}
+			var v any
+			if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+				t.Fatalf("/v1/diff: status %d with non-JSON body %q",
+					res.StatusCode, rec.Body.String())
 			}
 		}
 	})

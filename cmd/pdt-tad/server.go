@@ -128,6 +128,7 @@ func (s *server) handler() http.Handler {
 	mux.Handle("POST /v1/gaps", s.analysis("gaps", s.renderGaps))
 	mux.Handle("POST /v1/critpath", s.analysis("critpath", s.renderCritPath))
 	mux.Handle("POST /v1/doctor", s.analysis("doctor", s.renderDoctor))
+	mux.Handle("POST /v1/diff", s.analysis("diff", s.renderDiff))
 	return s.logRequests(s.recoverPanics(mux))
 }
 
@@ -148,8 +149,21 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// renderFunc turns an uploaded trace image into a JSON body.
-type renderFunc func(ctx context.Context, data []byte, w io.Writer) error
+// renderFunc turns an uploaded request body into a JSON response body.
+// Most endpoints only look at the raw trace image in data; /v1/diff also
+// reads the request's Content-Type to pick its two-side encoding.
+type renderFunc func(ctx context.Context, r *http.Request, data []byte, w io.Writer) error
+
+// statusError pins a render failure to a specific HTTP status, with an
+// optional prebuilt JSON body (the diff endpoint's doctor-style 422).
+type statusError struct {
+	status int
+	body   []byte // optional JSON document; nil = default error doc
+	err    error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
 
 // loadShared resolves a trace through the cache (one load per content
 // address, artifacts memoized) or, when the cache is disabled, loads and
@@ -171,7 +185,7 @@ func (s *server) loadShared(ctx context.Context, data []byte) (*analyzer.Trace, 
 	return tr, nil, nil
 }
 
-func (s *server) renderSummary(ctx context.Context, data []byte, w io.Writer) error {
+func (s *server) renderSummary(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
 	tr, h, err := s.loadShared(ctx, data)
 	if err != nil {
 		return err
@@ -182,7 +196,7 @@ func (s *server) renderSummary(ctx context.Context, data []byte, w io.Writer) er
 	return analyzer.WriteJSON(tr, analyzer.Summarize(tr), w)
 }
 
-func (s *server) renderProfile(ctx context.Context, data []byte, w io.Writer) error {
+func (s *server) renderProfile(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
 	tr, h, err := s.loadShared(ctx, data)
 	if err != nil {
 		return err
@@ -193,7 +207,7 @@ func (s *server) renderProfile(ctx context.Context, data []byte, w io.Writer) er
 	return analyzer.WriteProfileJSON(tr, w)
 }
 
-func (s *server) renderGaps(ctx context.Context, data []byte, w io.Writer) error {
+func (s *server) renderGaps(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
 	tr, h, err := s.loadShared(ctx, data)
 	if err != nil {
 		return err
@@ -206,7 +220,7 @@ func (s *server) renderGaps(ctx context.Context, data []byte, w io.Writer) error
 	return analyzer.WriteGapsJSON(min, analyzer.FindGaps(tr, min), w)
 }
 
-func (s *server) renderCritPath(ctx context.Context, data []byte, w io.Writer) error {
+func (s *server) renderCritPath(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
 	tr, h, err := s.loadShared(ctx, data)
 	if err != nil {
 		return err
@@ -219,7 +233,7 @@ func (s *server) renderCritPath(ctx context.Context, data []byte, w io.Writer) e
 
 // renderDoctor never treats damage as an error — that is the point of the
 // endpoint — but limit violations and deadlines still abort.
-func (s *server) renderDoctor(ctx context.Context, data []byte, w io.Writer) error {
+func (s *server) renderDoctor(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
 	var d *analyzer.DoctorReport
 	var err error
 	if s.cache != nil {
@@ -305,8 +319,17 @@ func (s *server) analysis(name string, render renderFunc) http.Handler {
 			return
 		}
 		var buf bytes.Buffer
-		if err := render(ctx, data, &buf); err != nil {
+		if err := render(ctx, r, data, &buf); err != nil {
+			var se *statusError
 			switch {
+			case errors.As(err, &se):
+				if se.body != nil {
+					w.Header().Set("Content-Type", "application/json")
+					w.WriteHeader(se.status)
+					_, _ = w.Write(se.body)
+					return
+				}
+				s.writeError(w, se.status, se.err)
 			case errors.Is(err, analyzer.ErrLimitExceeded):
 				s.writeError(w, http.StatusRequestEntityTooLarge, err)
 			case errors.Is(err, context.DeadlineExceeded):

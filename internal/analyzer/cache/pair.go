@@ -1,0 +1,45 @@
+package cache
+
+import (
+	"context"
+	"sync"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+)
+
+// SideError tags a load failure with which side of a pair produced it,
+// so the diff endpoint can doctor the failing side specifically.
+type SideError struct {
+	Side string // "a" or "b"
+	Err  error
+	// Data is the failing side's raw image, for follow-up doctoring.
+	Data []byte
+}
+
+func (e *SideError) Error() string { return "side " + e.Side + ": " + e.Err.Error() }
+func (e *SideError) Unwrap() error { return e.Err }
+
+// LoadPair loads two trace images concurrently through the cache, so a
+// diff request pays at most one load per distinct content address —
+// none when both sides are already cached, and exactly one when the two
+// sides are byte-identical (the second request piggybacks on the
+// first's flight). A failure is reported as a *SideError naming the
+// side; when both sides fail, side "a" wins deterministically.
+func (c *Cache) LoadPair(ctx context.Context, a, b []byte, lim analyzer.Limits) (ha, hb *Handle, err error) {
+	var ea, eb error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hb, eb = c.Load(ctx, b, lim)
+	}()
+	ha, ea = c.Load(ctx, a, lim)
+	wg.Wait()
+	if ea != nil {
+		return nil, nil, &SideError{Side: "a", Err: ea, Data: a}
+	}
+	if eb != nil {
+		return nil, nil, &SideError{Side: "b", Err: eb, Data: b}
+	}
+	return ha, hb, nil
+}

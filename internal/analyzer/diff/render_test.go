@@ -1,0 +1,103 @@
+package diff_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/analyzer/diff"
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// TestRenderTextAndJSON drives both renderers over a real reduced-vs-full
+// diff and checks the load-bearing pieces: the text report carries every
+// section with signed deltas, the JSON parses and round-trips the same
+// totals, and rendering is deterministic.
+func TestRenderTextAndJSON(t *testing.T) {
+	a := traceWithGroups(t, "julia", event.GroupLifecycle|event.GroupMFC)
+	b := traceWithGroups(t, "julia", event.GroupAll)
+	rep, err := diff.Diff(a, b, diff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var text bytes.Buffer
+	rep.Write(&text)
+	for _, want := range []string{
+		"trace diff: workload julia",
+		"records:",
+		"per-core deltas",
+		"event-group deltas:",
+		"overhead attribution",
+		"trace-flush",
+		"critical path",
+		"+", // at least one signed delta
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+	var text2 bytes.Buffer
+	rep.Write(&text2)
+	if text.String() != text2.String() {
+		t.Fatal("text rendering is not deterministic")
+	}
+
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Workload    string `json:"workload"`
+		RecordDelta int64  `json:"recordDelta"`
+		WallDelta   int64  `json:"wallDeltaTicks"`
+		Cores       []struct {
+			Core string `json:"core"`
+		} `json:"cores"`
+		Groups   []json.RawMessage `json:"groups"`
+		Overhead struct {
+			WallDeltaTicks int64 `json:"wallDeltaTicks"`
+		} `json:"overhead"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &got); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v\n%s", err, js.String())
+	}
+	if got.Workload != "julia" || got.RecordDelta != rep.RecordDelta() {
+		t.Fatalf("JSON totals drifted: %+v vs RecordDelta %d", got, rep.RecordDelta())
+	}
+	if got.Overhead.WallDeltaTicks != rep.Overhead.WallDeltaTicks {
+		t.Fatalf("JSON overhead wallDeltaTicks = %d, want %d",
+			got.Overhead.WallDeltaTicks, rep.Overhead.WallDeltaTicks)
+	}
+	if len(got.Cores) != len(rep.Cores) || len(got.Groups) != len(rep.Groups) {
+		t.Fatalf("JSON table sizes: %d cores / %d groups, want %d / %d",
+			len(got.Cores), len(got.Groups), len(rep.Cores), len(rep.Groups))
+	}
+}
+
+// TestRenderZeroDiff checks a self-diff renders without signed noise in
+// the attribution (everything +0) and stays valid JSON.
+func TestRenderZeroDiff(t *testing.T) {
+	a := traceWithGroups(t, "julia", event.GroupAll)
+	rep, err := diff.Diff(a, a, diff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Zero() {
+		t.Fatal("self-diff not zero")
+	}
+	var text bytes.Buffer
+	rep.Write(&text)
+	if !strings.Contains(text.String(), "(+0)") {
+		t.Fatalf("zero diff should render +0 deltas:\n%s", text.String())
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(js.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+}

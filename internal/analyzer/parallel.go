@@ -57,6 +57,12 @@ func runParallel(workers, n int, task func(i int)) {
 	}
 }
 
+// RunParallel exposes the bounded worker pool to sibling analysis
+// packages (analyzer/diff shards its per-core scans on it): n
+// independent tasks on at most `workers` goroutines (GOMAXPROCS when
+// workers <= 0), panics re-raised on the caller.
+func RunParallel(workers, n int, task func(i int)) { runParallel(workers, n, task) }
+
 // Cores returns the distinct core ids present in the trace, ascending.
 // On pipeline-loaded traces this reads the precomputed index; on
 // hand-assembled traces it scans the stream.

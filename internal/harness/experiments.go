@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{"E11", "Table 6 (ablation): memory/EIB bandwidth vs STREAM triad", runE11},
 		{"E12", "Table 7 (ablation): barrier latency, atomic vs signal fabric", runE12},
 		{"E13", "Figure 9: workload speedup vs SPE count", runE13},
+		{"E14", "Table 8: PDT overhead attribution via trace differencing", runE14},
 	}
 }
 

@@ -91,7 +91,7 @@ func TestOverhead(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 13 {
+	if len(exps) != 14 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	seen := map[string]bool{}

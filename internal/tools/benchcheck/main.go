@@ -1,0 +1,233 @@
+// benchcheck is the benchmark regression gate: it runs the four
+// committed reference benchmarks (trace load, interval profile,
+// critical path, end-to-end TAD summary), parses the ns/op figures, and
+// compares them against BENCH_baseline.json. A result more than
+// -tolerance slower than its baseline entry fails the run; a package
+// that regresses is re-run once first, so a single noisy scheduling
+// hiccup does not fail CI. `-update` rewrites the baseline from a fresh
+// run instead of comparing.
+//
+// The baseline file keeps separate sections for -short and full-size
+// runs (the trace sizes differ by 10x), so `make ci` can gate on the
+// cheap short variant while `make bench-check` gates the real sizes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// suite lists one `go test -bench` invocation to measure.
+type suite struct {
+	pkg   string
+	bench string // -bench regexp
+}
+
+// suites are the committed reference benchmarks. BenchmarkLoadLargeTrace,
+// BenchmarkProfileLargeTrace and BenchmarkCritPathLargeTrace live in the
+// repo-root package; BenchmarkTADSummary is the service's end-to-end
+// request path.
+var suites = []suite{
+	{".", "^(BenchmarkLoadLargeTrace|BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace)$"},
+	{"./cmd/pdt-tad", "^BenchmarkTADSummary$"},
+}
+
+// baseline is the committed shape of BENCH_baseline.json.
+type baseline struct {
+	// Tolerance is the allowed fractional slowdown before failing
+	// (0.25 = fail past +25%); -tolerance overrides when set.
+	Tolerance float64 `json:"tolerance"`
+	// Short and Full map benchmark name (without the Benchmark prefix
+	// or the -GOMAXPROCS suffix) to ns/op.
+	Short map[string]float64 `json:"short"`
+	Full  map[string]float64 `json:"full"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkLoadLargeTrace/parallel-8   5   1234567 ns/op   12 MB/s".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts name → ns/op from `go test -bench` output. The
+// "Benchmark" prefix and the trailing -N GOMAXPROCS suffix are stripped
+// so names stay stable across hosts.
+func parseBench(out string) map[string]float64 {
+	res := make(map[string]float64)
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		res[strings.TrimPrefix(m[1], "Benchmark")] = ns
+	}
+	return res
+}
+
+// runSuite executes one benchmark package and returns its parsed results.
+func runSuite(s suite, short bool, benchtime string) (map[string]float64, error) {
+	args := []string{"test", "-run", "^$", "-bench", s.bench, "-benchtime", benchtime}
+	if short {
+		args = append(args, "-short")
+	}
+	args = append(args, s.pkg)
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return parseBench(string(out)), nil
+}
+
+// compare reports every entry of got that is slower than base by more
+// than tol, and every baseline entry missing from got.
+func compare(base, got map[string]float64, tol float64) []string {
+	var bad []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base[name]
+		ns, ok := got[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: in baseline but not measured (renamed or deleted?)", name))
+			continue
+		}
+		if want > 0 && ns > want*(1+tol) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
+				name, ns, want, 100*(ns/want-1), 100*tol))
+		}
+	}
+	return bad
+}
+
+// options carries the parsed command line.
+type options struct {
+	short     bool
+	update    bool
+	baseline  string
+	tolerance float64
+	benchtime string
+}
+
+func main() {
+	var o options
+	flag.BoolVar(&o.short, "short", false, "run the -short benchmark sizes and gate on the baseline's short section")
+	flag.BoolVar(&o.update, "update", false, "rewrite the baseline from a fresh run (both sections) instead of comparing")
+	flag.StringVar(&o.baseline, "baseline", "BENCH_baseline.json", "baseline file")
+	flag.Float64Var(&o.tolerance, "tolerance", 0, "allowed fractional slowdown (0 = use the baseline file's tolerance)")
+	flag.StringVar(&o.benchtime, "benchtime", "10x", "-benchtime per benchmark")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	measure := func(shortMode bool) (map[string]float64, error) {
+		all := make(map[string]float64)
+		for _, s := range suites {
+			res, err := runSuite(s, shortMode, o.benchtime)
+			if err != nil {
+				return nil, err
+			}
+			if len(res) == 0 {
+				return nil, fmt.Errorf("%s: no benchmark results parsed", s.pkg)
+			}
+			for k, v := range res {
+				all[k] = v
+			}
+		}
+		return all, nil
+	}
+
+	if o.update {
+		b := baseline{Tolerance: 0.25}
+		if o.tolerance > 0 {
+			b.Tolerance = o.tolerance
+		}
+		var err error
+		if b.Short, err = measure(true); err != nil {
+			return err
+		}
+		if b.Full, err = measure(false); err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.baseline, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("baseline rewritten: %s (%d short + %d full entries)\n",
+			o.baseline, len(b.Short), len(b.Full))
+		return nil
+	}
+
+	data, err := os.ReadFile(o.baseline)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run with -update to create): %w", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return fmt.Errorf("parsing %s: %w", o.baseline, err)
+	}
+	want := b.Full
+	section := "full"
+	if o.short {
+		want = b.Short
+		section = "short"
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("%s has no %q section (re-run with -update)", o.baseline, section)
+	}
+	tol := b.Tolerance
+	if o.tolerance > 0 {
+		tol = o.tolerance
+	}
+	if tol <= 0 {
+		tol = 0.25
+	}
+
+	got, err := measure(o.short)
+	if err != nil {
+		return err
+	}
+	bad := compare(want, got, tol)
+	if len(bad) > 0 {
+		// One retry: benchmarks share the host with the rest of CI and a
+		// single noisy run should not fail the gate. Keep the faster of
+		// the two runs per benchmark.
+		fmt.Printf("possible regression, re-running to damp noise:\n  %s\n",
+			strings.Join(bad, "\n  "))
+		again, err := measure(o.short)
+		if err != nil {
+			return err
+		}
+		for k, v := range again {
+			if cur, ok := got[k]; !ok || v < cur {
+				got[k] = v
+			}
+		}
+		bad = compare(want, got, tol)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("benchmark regression (%s sizes):\n  %s", section, strings.Join(bad, "\n  "))
+	}
+	fmt.Printf("benchcheck ok: %d benchmarks within +%.0f%% of %s (%s sizes)\n",
+		len(want), 100*tol, o.baseline, section)
+	return nil
+}

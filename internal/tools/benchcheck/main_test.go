@@ -1,0 +1,58 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `
+goos: linux
+goarch: amd64
+BenchmarkLoadLargeTrace/parallel-8        	       5	  12345678 ns/op	 512.34 MB/s	 1000 B/op
+BenchmarkLoadLargeTrace/serial-8          	       5	  23456789 ns/op
+BenchmarkTADSummary/cold                  	      10	   9876543 ns/op
+benchmark output noise: 1234 ns/op should not match
+PASS
+ok  	github.com/celltrace/pdt	1.234s
+`
+	got := parseBench(out)
+	want := map[string]float64{
+		"LoadLargeTrace/parallel": 12345678,
+		"LoadLargeTrace/serial":   23456789,
+		"TADSummary/cold":         9876543,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseBench = %v, want %v", got, want)
+	}
+}
+
+func TestParseBenchFractionalNsop(t *testing.T) {
+	got := parseBench("BenchmarkX/fast-16   1000000   123.4 ns/op\n")
+	if got["X/fast"] != 123.4 {
+		t.Fatalf("parseBench fractional = %v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]float64{"a": 1000, "b": 1000, "c": 1000}
+	got := map[string]float64{
+		"a": 1200, // +20%: inside a 25% tolerance
+		"b": 1300, // +30%: regression
+		// c missing entirely
+	}
+	bad := compare(base, got, 0.25)
+	if len(bad) != 2 {
+		t.Fatalf("compare flagged %d entries, want 2: %v", len(bad), bad)
+	}
+	if !strings.Contains(bad[0], "b:") || !strings.Contains(bad[0], "+30.0%") {
+		t.Errorf("regression line wrong: %q", bad[0])
+	}
+	if !strings.Contains(bad[1], "c:") || !strings.Contains(bad[1], "not measured") {
+		t.Errorf("missing-benchmark line wrong: %q", bad[1])
+	}
+	if bad = compare(base, map[string]float64{"a": 900, "b": 1000, "c": 1249}, 0.25); len(bad) != 0 {
+		t.Fatalf("clean run flagged: %v", bad)
+	}
+}
