@@ -50,18 +50,19 @@ bench:
 # Profile/ComputeCriticalPath and warm vs cold pdt-tad summary (the
 # warm/cold split is the cache speedup recorded in EXPERIMENTS.md).
 bench-analysis:
-	$(GO) test -run '^$$' -bench 'BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace' -benchtime 10x .
+	$(GO) test -run '^$$' -bench 'BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace|BenchmarkGapsLargeTrace|BenchmarkDiffLargeTrace' -benchtime 10x .
 	$(GO) test -run '^$$' -bench BenchmarkTADSummary -benchtime 10x ./cmd/pdt-tad
 
 # One -short pass of the same benchmarks for ci: catches kernel/cache
 # regressions that only show up under -bench without the full cost.
 bench-analysis-short:
-	$(GO) test -run '^$$' -bench 'BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace' -benchtime 1x -short .
+	$(GO) test -run '^$$' -bench 'BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace|BenchmarkGapsLargeTrace|BenchmarkDiffLargeTrace' -benchtime 1x -short .
 	$(GO) test -run '^$$' -bench BenchmarkTADSummary -benchtime 1x -short ./cmd/pdt-tad
 
-# Benchmark regression gate: run the four reference benchmarks (trace
-# load, interval profile, critical path, end-to-end TAD summary) and
-# fail on any result >25% slower than BENCH_baseline.json. The short
+# Benchmark regression gate: run the reference benchmarks (trace load,
+# interval profile, critical path, gap hunting, trace differencing,
+# end-to-end TAD summary) with -benchmem and fail on any ns/op, B/op or
+# allocs/op result >25% worse than BENCH_baseline.json. The short
 # variant (10x smaller traces) is what ci runs; bench-baseline rewrites
 # the committed baseline — only after verifying the change is real.
 bench-check:
@@ -91,6 +92,7 @@ cover-check: cover
 # salvage fuzzer and the pdt-tad HTTP-handler fuzzer.
 fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/core/traceio ./cmd/pdt-tad
+	$(GO) test -run 'FuzzColumnarRoundTrip' ./internal/analyzer
 
 # Actual coverage-guided fuzzing (long; not in ci).
 fuzz:

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/analyzer/diff"
 	"github.com/celltrace/pdt/internal/core"
 	"github.com/celltrace/pdt/internal/core/event"
 	"github.com/celltrace/pdt/internal/core/traceio"
@@ -209,7 +210,7 @@ func largeTrace(b *testing.B) *analyzer.Trace {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Logf("trace: %d bytes, %d events", len(res.TraceBytes), len(tr.Events))
+	b.Logf("trace: %d bytes, %d events", len(res.TraceBytes), tr.NumEvents())
 	return tr
 }
 
@@ -246,6 +247,49 @@ func BenchmarkCritPathLargeTrace(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			analyzer.ComputeCriticalPathSerial(tr)
+		}
+	})
+}
+
+// BenchmarkGapsLargeTrace measures gap hunting: the per-run sharded
+// scan against the serial reference, at a threshold the suggester would
+// pick so the result set is realistic.
+func BenchmarkGapsLargeTrace(b *testing.B) {
+	tr := largeTrace(b)
+	minTicks := analyzer.SuggestGapThreshold(tr)
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			analyzer.FindGaps(tr, minTicks)
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			analyzer.FindGapsSerial(tr, minTicks)
+		}
+	})
+}
+
+// BenchmarkDiffLargeTrace measures trace differencing on the standard
+// large trace (self-diff: both sides scan the full event volume, so the
+// cost is representative while needing only one load).
+func BenchmarkDiffLargeTrace(b *testing.B) {
+	tr := largeTrace(b)
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := diff.Diff(tr, tr, diff.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := diff.DiffSerial(tr, tr, diff.Options{}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -250,7 +250,7 @@ func run(args []string, out io.Writer) error {
 	case "validate":
 		issues := analyzer.Validate(tr)
 		if len(issues) == 0 {
-			fmt.Fprintf(out, "OK: %d events, no issues\n", len(tr.Events))
+			fmt.Fprintf(out, "OK: %d events, no issues\n", tr.NumEvents())
 			return nil
 		}
 		for _, is := range issues {
@@ -260,11 +260,12 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("%d errors", len(analyzer.Errors(issues)))
 		}
 	case "events":
-		for i, e := range tr.Events {
+		for i, n := 0, tr.NumEvents(); i < n; i++ {
 			if *maxEvents > 0 && i >= *maxEvents {
-				fmt.Fprintf(out, "... %d more\n", len(tr.Events)-i)
+				fmt.Fprintf(out, "... %d more\n", n-i)
 				break
 			}
+			e := tr.Event(i)
 			fmt.Fprintf(out, "%8d %s\n", e.Global, e.Record.String())
 		}
 	default:

@@ -94,16 +94,16 @@ func TestClockCorrelation(t *testing.T) {
 		traceio.Chunk{Core: 0, AnchorIdx: 0, Data: spe},
 	)
 	wantOrder := []event.ID{event.StringDef, event.PPESPEStart, event.SPEProgramStart, event.SPEProgramEnd, event.PPEWaitExit}
-	if len(tr.Events) != len(wantOrder) {
-		t.Fatalf("events = %d", len(tr.Events))
+	if tr.NumEvents() != len(wantOrder) {
+		t.Fatalf("events = %d", tr.NumEvents())
 	}
 	for i, id := range wantOrder {
-		if tr.Events[i].ID != id {
-			t.Fatalf("event %d = %v, want %v", i, tr.Events[i].ID, id)
+		if tr.Event(i).ID != id {
+			t.Fatalf("event %d = %v, want %v", i, tr.Event(i).ID, id)
 		}
 	}
-	if tr.Events[2].Global != 1000 || tr.Events[3].Global != 1050 {
-		t.Fatalf("correlated times: %d, %d", tr.Events[2].Global, tr.Events[3].Global)
+	if tr.Event(2).Global != 1000 || tr.Event(3).Global != 1050 {
+		t.Fatalf("correlated times: %d, %d", tr.Event(2).Global, tr.Event(3).Global)
 	}
 	if tr.StringRef(1) != "p" {
 		t.Fatalf("StringRef = %q", tr.StringRef(1))
@@ -165,10 +165,10 @@ func TestValidateDetectsBackwardsTime(t *testing.T) {
 	_ = c2
 	tr := buildTrace(t, meta, traceio.Chunk{Core: 0, AnchorIdx: 0, Data: c1})
 	// Inject a manual out-of-order event stream.
-	tr.Events = []Event{
+	tr.SetEvents([]Event{
 		{Record: event.Record{ID: event.SPEUserEvent, Core: 0, Args: []uint64{1, 0, 0}}, Global: 150, Run: 0, Seq: 0},
 		{Record: event.Record{ID: event.SPEUserEvent, Core: 0, Args: []uint64{2, 0, 0}}, Global: 100, Run: 0, Seq: 1},
-	}
+	})
 	issues := Validate(tr)
 	found := false
 	for _, i := range issues {
@@ -428,8 +428,8 @@ func TestCSVExport(t *testing.T) {
 	}
 	out := buf.String()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != len(tr.Events)+1 {
-		t.Fatalf("csv lines = %d, events = %d", len(lines), len(tr.Events))
+	if len(lines) != tr.NumEvents()+1 {
+		t.Fatalf("csv lines = %d, events = %d", len(lines), tr.NumEvents())
 	}
 	if !strings.Contains(out, "SPE_MFC_GET") || !strings.Contains(out, "tag=3") {
 		t.Fatalf("csv content:\n%s", out)

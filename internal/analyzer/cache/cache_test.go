@@ -222,7 +222,7 @@ func TestChurnMixedTracesNoBleed(t *testing.T) {
 		}
 		s := analyzer.Summarize(tr)
 		cp := analyzer.ComputeCriticalPathSerial(tr)
-		bases[i] = base{events: len(tr.Events), wall: s.WallTicks, total: cp.Total}
+		bases[i] = base{events: tr.NumEvents(), wall: s.WallTicks, total: cp.Total}
 	}
 
 	c := cache.New(2, 0)
@@ -239,7 +239,7 @@ func TestChurnMixedTracesNoBleed(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if got := len(h.Trace().Events); got != bases[k].events {
+				if got := h.Trace().NumEvents(); got != bases[k].events {
 					t.Errorf("trace %d: %d events, want %d (cross-trace bleed?)", k, got, bases[k].events)
 					return
 				}

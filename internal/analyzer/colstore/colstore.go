@@ -1,0 +1,147 @@
+// Package colstore holds the analyzer's struct-of-arrays event store.
+//
+// The record-of-structs layout the analyzer used to keep ([]Event, each
+// embedding an event.Record with its own Args slice and Str header) costs
+// ~88 bytes plus a pointer chase per event even when a kernel only wants
+// the event ID and timestamp. The columnar Store splits every field into
+// its own parallel slice so a scan touches only the columns it reads:
+// Profile walks 2-byte IDs and 8-byte timestamps, the critical-path
+// dependency scans walk the ID column alone, and the whole store costs
+// ~32 bytes per event plus argument words.
+//
+// Arguments are packed into one shared arena (Args) addressed by a
+// prefix-sum offset column (ArgOff), and string payloads are interned
+// into a table (Strs) addressed by StrIdx, so loading a trace performs a
+// constant number of allocations instead of one per record.
+package colstore
+
+import "github.com/celltrace/pdt/internal/core/event"
+
+// Store is a struct-of-arrays event table. All column slices have the
+// same length (the event count) except ArgOff, which has one extra
+// trailing entry so event i's arguments are Args[ArgOff[i]:ArgOff[i+1]].
+// Row order is the analyzer's merged order (ascending Global, stable by
+// input order), so an event's sequence number is simply its row index.
+type Store struct {
+	ID     []event.ID
+	Core   []uint8
+	Flags  []uint8
+	Time   []uint64 // raw record timestamp (decrementer or timebase)
+	Global []uint64 // correlated global timebase ticks
+	Run    []int32  // SPE run index, or -1 for PPE events
+	ArgOff []uint32 // len()+1 entries; prefix sums into Args
+	Args   []uint64 // shared argument arena
+	StrIdx []int32  // index into Strs, or -1 when the record has no string
+	Strs   []string // interned string payloads
+}
+
+// Len returns the number of events in the store.
+func (s *Store) Len() int { return len(s.ID) }
+
+// EventArgs returns event i's argument words as a view into the shared
+// arena, or nil when the event has none. Callers must not mutate it.
+func (s *Store) EventArgs(i int) []uint64 {
+	lo, hi := s.ArgOff[i], s.ArgOff[i+1]
+	if lo == hi {
+		return nil
+	}
+	return s.Args[lo:hi:hi]
+}
+
+// Str returns event i's string payload ("" when it has none).
+func (s *Store) Str(i int) string {
+	if idx := s.StrIdx[i]; idx >= 0 {
+		return s.Strs[idx]
+	}
+	return ""
+}
+
+// Record materializes event i as a decoded wire record. The Args slice
+// aliases the shared arena (nil for zero-argument events, matching
+// event.Decode) and must not be mutated.
+func (s *Store) Record(i int) event.Record {
+	return event.Record{
+		ID:    s.ID[i],
+		Core:  s.Core[i],
+		Flags: s.Flags[i],
+		Time:  s.Time[i],
+		Args:  s.EventArgs(i),
+		Str:   s.Str(i),
+	}
+}
+
+// Bytes returns the exact heap footprint of the column data: the sum of
+// every column's backing array plus string headers and bytes. Slice and
+// map headers of the Store struct itself are not counted; they are O(1).
+func (s *Store) Bytes() int64 {
+	n := int64(cap(s.ID))*2 + int64(cap(s.Core)) + int64(cap(s.Flags)) +
+		int64(cap(s.Time))*8 + int64(cap(s.Global))*8 + int64(cap(s.Run))*4 +
+		int64(cap(s.ArgOff))*4 + int64(cap(s.Args))*8 + int64(cap(s.StrIdx))*4
+	n += int64(cap(s.Strs)) * 16 // string headers
+	for _, str := range s.Strs {
+		n += int64(len(str))
+	}
+	return n
+}
+
+// Builder appends rows to a Store, interning strings as it goes. Use
+// NewBuilder with the final event count when it is known up front so the
+// columns are allocated exactly once.
+type Builder struct {
+	s      Store
+	intern map[string]int32
+}
+
+// NewBuilder returns a Builder with capacity for n events and argWords
+// total argument words. Either may be 0 when unknown; the columns then
+// grow geometrically.
+func NewBuilder(n, argWords int) *Builder {
+	b := &Builder{intern: make(map[string]int32)}
+	b.s = Store{
+		ID:     make([]event.ID, 0, n),
+		Core:   make([]uint8, 0, n),
+		Flags:  make([]uint8, 0, n),
+		Time:   make([]uint64, 0, n),
+		Global: make([]uint64, 0, n),
+		Run:    make([]int32, 0, n),
+		ArgOff: make([]uint32, 1, n+1),
+		Args:   make([]uint64, 0, argWords),
+		StrIdx: make([]int32, 0, n),
+	}
+	return b
+}
+
+// Append adds one event row from a decoded record plus its correlated
+// global time and run assignment. The record's Args are copied into the
+// shared arena and its Str is interned.
+func (b *Builder) Append(r *event.Record, global uint64, run int32) {
+	s := &b.s
+	s.ID = append(s.ID, r.ID)
+	s.Core = append(s.Core, r.Core)
+	s.Flags = append(s.Flags, r.Flags)
+	s.Time = append(s.Time, r.Time)
+	s.Global = append(s.Global, global)
+	s.Run = append(s.Run, run)
+	s.Args = append(s.Args, r.Args...)
+	s.ArgOff = append(s.ArgOff, uint32(len(s.Args)))
+	if r.Flags&event.FlagHasStr != 0 || r.Str != "" {
+		idx, ok := b.intern[r.Str]
+		if !ok {
+			idx = int32(len(s.Strs))
+			s.Strs = append(s.Strs, r.Str)
+			b.intern[r.Str] = idx
+		}
+		s.StrIdx = append(s.StrIdx, idx)
+	} else {
+		s.StrIdx = append(s.StrIdx, -1)
+	}
+}
+
+// Len returns the number of rows appended so far.
+func (b *Builder) Len() int { return len(b.s.ID) }
+
+// Done returns the built store. The Builder must not be used afterwards.
+func (b *Builder) Done() *Store {
+	b.intern = nil
+	return &b.s
+}

@@ -1,0 +1,123 @@
+package analyzer_test
+
+// FuzzColumnarRoundTrip drives mutated trace images through the salvage
+// loader and the columnar store: whatever events salvage recovers must
+// survive materialization (Events) and re-ingestion (SetEvents)
+// unchanged, the analysis kernels must run on the round-tripped store
+// without panicking, and the footprint must stay positive.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/core/traceio"
+)
+
+// buildColFuzzTrace produces a structurally valid two-core trace image
+// for mutation, including a string-carrying record so the intern table
+// is exercised.
+func buildColFuzzTrace(tb testing.TB) []byte {
+	tb.Helper()
+	var out bytes.Buffer
+	w, err := traceio.NewWriter(&out, traceio.Header{
+		Version: traceio.Version, NumSPEs: 8, TimebaseDiv: 40, ClockHz: 3_200_000_000,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.WriteMeta(&traceio.Meta{
+		Workload: "fuzz",
+		Anchors: []traceio.Anchor{
+			{SPE: 0, Timebase: 100, Loaded: 0xFFFFFFFF, Program: "p"},
+			{SPE: 1, Timebase: 120, Loaded: 0xFFFFFFFF, Program: "p"},
+		},
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	for c := 0; c < 2; c++ {
+		var data []byte
+		sd := event.Record{ID: event.StringDef, Core: uint8(c), Flags: event.FlagDecrTime | event.FlagHasStr,
+			Time: 1, Args: []uint64{uint64(c + 1)}, Str: "fuzz-name"}
+		data, err = sd.AppendTo(data)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			r := event.Record{ID: event.SPEMFCGet, Core: uint8(c), Flags: event.FlagDecrTime,
+				Time: uint64(10 + i*10), Args: []uint64{0, 64, 128, uint64(i % 16)}}
+			data, err = r.AppendTo(data)
+			if err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if err := w.WriteChunk(traceio.Chunk{Core: uint8(c), AnchorIdx: uint16(c), Data: data}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+func FuzzColumnarRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint8(0), uint8(0x5A), uint16(0))
+	f.Add(uint32(30), uint8(1), uint8(0xC5), uint16(0))
+	f.Add(uint32(60), uint8(2), uint8(0), uint16(0))
+	f.Add(uint32(100), uint8(0), uint8(0xFF), uint16(50))
+	f.Add(uint32(0), uint8(3), uint8(0), uint16(9))
+
+	f.Fuzz(func(t *testing.T, pos uint32, op, val uint8, cut uint16) {
+		data := append([]byte(nil), buildColFuzzTrace(t)...)
+		p := int(pos) % len(data)
+		switch op % 4 {
+		case 0: // flip
+			data[p] ^= val | 1
+		case 1: // insert
+			data = append(data[:p], append([]byte{val}, data[p:]...)...)
+		case 2: // delete
+			data = append(data[:p], data[p+1:]...)
+		case 3: // truncate from the end
+			n := int(cut) % (len(data) + 1)
+			data = data[:len(data)-n]
+		}
+		if int(cut) > 0 && op%4 != 3 {
+			n := int(cut) % (len(data) + 1)
+			data = data[:len(data)-n]
+		}
+
+		d := analyzer.DoctorData(data)
+		if d == nil || d.Trace == nil {
+			return // nothing recoverable
+		}
+		tr := d.Trace
+
+		evs := tr.Events()
+		rt := &analyzer.Trace{Meta: tr.Meta, Strings: tr.Strings, Confidence: tr.Confidence}
+		rt.SetEvents(evs)
+		if tr.NumEvents() != rt.NumEvents() {
+			t.Fatalf("round trip lost events: %d -> %d", tr.NumEvents(), rt.NumEvents())
+		}
+		for i, n := 0, tr.NumEvents(); i < n; i++ {
+			if !reflect.DeepEqual(tr.Event(i), rt.Event(i)) {
+				t.Fatalf("event %d differs after round trip:\nwant %+v\ngot  %+v",
+					i, tr.Event(i), rt.Event(i))
+			}
+		}
+
+		// The kernels must run on the round-tripped store without
+		// panicking, salvaged input or not.
+		analyzer.Profile(rt)
+		analyzer.ComputeCriticalPath(rt)
+		analyzer.Intervals(rt)
+		analyzer.PPEIntervals(rt)
+		analyzer.FindGaps(rt, 1)
+
+		if tr.Footprint() <= 0 || rt.Footprint() <= 0 {
+			t.Fatalf("footprint not positive: %d / %d", tr.Footprint(), rt.Footprint())
+		}
+	})
+}

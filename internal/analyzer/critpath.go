@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"github.com/celltrace/pdt/internal/analyzer/colstore"
 	"github.com/celltrace/pdt/internal/core/event"
 )
 
@@ -31,8 +32,11 @@ import (
 // on the previous), but the preparation is not: the predecessor index is
 // independent per core, and the five dependency channels (start, join,
 // out-mbox, in-mbox, signal) touch disjoint event ids and therefore
-// disjoint slots of the dependency array. ComputeCriticalPath runs those
-// scans concurrently on a bounded pool; ComputeCriticalPathSerial is the
+// disjoint slots of the dependency array. All scans read the columnar
+// store — the channel matchers walk the 2-byte ID column and touch
+// arguments only on the rare matching rows. ComputeCriticalPath runs the
+// scans concurrently on a bounded pool once the trace is past the
+// adaptive-parallelism threshold; ComputeCriticalPathSerial is the
 // single-threaded reference it is tested against.
 
 // PathSegment is one hop of the critical path.
@@ -85,93 +89,122 @@ func ensureFifo[K comparable](m map[K]*fifo, k K) *fifo {
 // sigKey identifies one signal-notification channel: target SPE + register.
 type sigKey struct{ spe, reg uint64 }
 
-// ComputeCriticalPath runs the backward walk. On pipeline-loaded traces
-// the preparation scans run concurrently (see the package comment above);
-// hand-assembled traces fall back to the serial reference.
+// arg0 returns event i's first argument word.
+func arg0(s *colstore.Store, i int) uint64 { return s.Args[s.ArgOff[i]] }
+
+// arg1 returns event i's second argument word.
+func arg1(s *colstore.Store, i int) uint64 { return s.Args[s.ArgOff[i]+1] }
+
+// scanStarts matches program launches: PPE_SPE_START -> SPE_PROGRAM_START.
+func scanStarts(s *colstore.Store, crossDep []int) {
+	starts := map[uint64]*fifo{}
+	for i, id := range s.ID {
+		switch id {
+		case event.PPESPEStart:
+			ensureFifo(starts, arg0(s, i)).push(i)
+		case event.SPEProgramStart:
+			crossDep[i] = ensureFifo(starts, uint64(s.Core[i])).pop()
+		}
+	}
+}
+
+// scanEnds matches joins: SPE_PROGRAM_END -> PPE_WAIT_EXIT.
+func scanEnds(s *colstore.Store, crossDep []int) {
+	ends := map[uint8]*fifo{}
+	for i, id := range s.ID {
+		switch id {
+		case event.SPEProgramEnd:
+			ensureFifo(ends, s.Core[i]).push(i)
+		case event.PPEWaitExit:
+			crossDep[i] = ensureFifo(ends, uint8(arg0(s, i))).pop()
+		}
+	}
+}
+
+// scanOutMbox matches the outbound mailbox FIFO per SPE.
+func scanOutMbox(s *colstore.Store, crossDep []int) {
+	outMbox := map[uint8]*fifo{}
+	for i, id := range s.ID {
+		switch id {
+		case event.SPEWriteOutMboxExit, event.SPEWriteIntrMboxExit:
+			ensureFifo(outMbox, s.Core[i]).push(i)
+		case event.PPEReadOutMboxExit, event.PPEReadIntrMboxExit:
+			crossDep[i] = ensureFifo(outMbox, uint8(arg0(s, i))).pop()
+		}
+	}
+}
+
+// scanInMbox matches the inbound mailbox FIFO per SPE.
+func scanInMbox(s *colstore.Store, crossDep []int) {
+	inMbox := map[uint64]*fifo{}
+	for i, id := range s.ID {
+		switch id {
+		case event.PPEWriteInMboxExit:
+			ensureFifo(inMbox, arg0(s, i)).push(i)
+		case event.SPEReadInMboxExit:
+			crossDep[i] = ensureFifo(inMbox, uint64(s.Core[i])).pop()
+		}
+	}
+}
+
+// scanSignals matches the signal-notification FIFO per SPE+register.
+func scanSignals(s *colstore.Store, crossDep []int) {
+	signals := map[sigKey]*fifo{}
+	for i, id := range s.ID {
+		switch id {
+		case event.PPEWriteSignal, event.SPESndsig:
+			ensureFifo(signals, sigKey{arg0(s, i), arg1(s, i)}).push(i)
+		case event.SPEReadSignalExit:
+			crossDep[i] = ensureFifo(signals, sigKey{uint64(s.Core[i]), arg0(s, i)}).pop()
+		}
+	}
+}
+
+// ComputeCriticalPath runs the backward walk. The sharded preparation
+// (per-core predecessor blocks off the core index, per-channel ID-column
+// scans) beats the serial reference's combined passes at every size, so
+// it always runs; adaptive parallelism only decides whether the shards
+// go to a worker pool or execute inline on the calling goroutine (small
+// traces and single-processor hosts, where pool startup is pure loss).
 func ComputeCriticalPath(tr *Trace) *CriticalPath {
-	if tr.coreIndex == nil || len(tr.Events) == 0 {
+	s := tr.col
+	if s == nil {
 		return ComputeCriticalPathSerial(tr)
 	}
-	n := len(tr.Events)
+	n := s.Len()
 	prevOnCore := make([]int, n)
 	crossDep := make([]int, n)
 	for i := range crossDep {
 		crossDep[i] = -1
 	}
 
-	// One task per core for the predecessor index (the per-core views are
-	// stream-ordered and Seq indexes the merged stream), plus one task per
+	// One task per core for the predecessor index (the per-core index
+	// blocks are stream-ordered rows of the store), plus one task per
 	// dependency channel. Tasks write disjoint array slots.
 	cores := tr.Cores()
 	tasks := make([]func(), 0, len(cores)+5)
 	for _, c := range cores {
-		evs := tr.coreIndex[c]
+		seqs := tr.coreSeq[c]
 		tasks = append(tasks, func() {
 			prev := -1
-			for i := range evs {
-				prevOnCore[evs[i].Seq] = prev
-				prev = evs[i].Seq
+			for _, seq := range seqs {
+				prevOnCore[seq] = prev
+				prev = int(seq)
 			}
 		})
 	}
 	tasks = append(tasks,
-		func() { // program launch: PPE_SPE_START -> SPE_PROGRAM_START
-			starts := map[uint64]*fifo{}
-			for i := range tr.Events {
-				switch e := &tr.Events[i]; e.ID {
-				case event.PPESPEStart:
-					ensureFifo(starts, e.Args[0]).push(i)
-				case event.SPEProgramStart:
-					crossDep[i] = ensureFifo(starts, uint64(e.Core)).pop()
-				}
-			}
-		},
-		func() { // join: SPE_PROGRAM_END -> PPE_WAIT_EXIT
-			ends := map[uint8]*fifo{}
-			for i := range tr.Events {
-				switch e := &tr.Events[i]; e.ID {
-				case event.SPEProgramEnd:
-					ensureFifo(ends, e.Core).push(i)
-				case event.PPEWaitExit:
-					crossDep[i] = ensureFifo(ends, uint8(e.Args[0])).pop()
-				}
-			}
-		},
-		func() { // outbound mailbox FIFO per SPE
-			outMbox := map[uint8]*fifo{}
-			for i := range tr.Events {
-				switch e := &tr.Events[i]; e.ID {
-				case event.SPEWriteOutMboxExit, event.SPEWriteIntrMboxExit:
-					ensureFifo(outMbox, e.Core).push(i)
-				case event.PPEReadOutMboxExit, event.PPEReadIntrMboxExit:
-					crossDep[i] = ensureFifo(outMbox, uint8(e.Args[0])).pop()
-				}
-			}
-		},
-		func() { // inbound mailbox FIFO per SPE
-			inMbox := map[uint64]*fifo{}
-			for i := range tr.Events {
-				switch e := &tr.Events[i]; e.ID {
-				case event.PPEWriteInMboxExit:
-					ensureFifo(inMbox, e.Args[0]).push(i)
-				case event.SPEReadInMboxExit:
-					crossDep[i] = ensureFifo(inMbox, uint64(e.Core)).pop()
-				}
-			}
-		},
-		func() { // signal-notification FIFO per SPE+register
-			signals := map[sigKey]*fifo{}
-			for i := range tr.Events {
-				switch e := &tr.Events[i]; e.ID {
-				case event.PPEWriteSignal, event.SPESndsig:
-					ensureFifo(signals, sigKey{e.Args[0], e.Args[1]}).push(i)
-				case event.SPEReadSignalExit:
-					crossDep[i] = ensureFifo(signals, sigKey{uint64(e.Core), e.Args[0]}).pop()
-				}
-			}
-		},
+		func() { scanStarts(s, crossDep) },
+		func() { scanEnds(s, crossDep) },
+		func() { scanOutMbox(s, crossDep) },
+		func() { scanInMbox(s, crossDep) },
+		func() { scanSignals(s, crossDep) },
 	)
-	runParallel(0, len(tasks), func(i int) { tasks[i]() })
+	workers := 0 // GOMAXPROCS
+	if !tr.parallelWorthwhile() {
+		workers = 1 // inline: same shards, no pool
+	}
+	runParallel(workers, len(tasks), func(i int) { tasks[i]() })
 	return walkCriticalPath(tr, prevOnCore, crossDep)
 }
 
@@ -179,16 +212,16 @@ func ComputeCriticalPath(tr *Trace) *CriticalPath {
 // builds the per-core predecessor index, one scan matches all five
 // dependency channels, then the shared backward walk runs.
 func ComputeCriticalPathSerial(tr *Trace) *CriticalPath {
-	n := len(tr.Events)
+	n := tr.NumEvents()
 	if n == 0 {
 		return &CriticalPath{CoreTicks: map[uint8]uint64{}}
 	}
+	s := tr.col
 
 	// prevOnCore[i] = index of the previous event on the same core.
 	prevOnCore := make([]int, n)
 	lastOnCore := map[uint8]int{}
-	for i := range tr.Events {
-		c := tr.Events[i].Core
+	for i, c := range s.Core {
 		if j, ok := lastOnCore[c]; ok {
 			prevOnCore[i] = j
 		} else {
@@ -208,31 +241,30 @@ func ComputeCriticalPathSerial(tr *Trace) *CriticalPath {
 	starts := map[uint64]*fifo{}  // spe arg -> pending PPE starts
 	ends := map[uint8]*fifo{}     // SPE -> pending program ends
 
-	for i := range tr.Events {
-		e := &tr.Events[i]
-		switch e.ID {
+	for i, id := range s.ID {
+		switch id {
 		case event.PPESPEStart:
-			ensureFifo(starts, e.Args[0]).push(i)
+			ensureFifo(starts, arg0(s, i)).push(i)
 		case event.SPEProgramStart:
-			crossDep[i] = ensureFifo(starts, uint64(e.Core)).pop()
+			crossDep[i] = ensureFifo(starts, uint64(s.Core[i])).pop()
 		case event.SPEProgramEnd:
-			ensureFifo(ends, e.Core).push(i)
+			ensureFifo(ends, s.Core[i]).push(i)
 		case event.PPEWaitExit:
-			crossDep[i] = ensureFifo(ends, uint8(e.Args[0])).pop()
+			crossDep[i] = ensureFifo(ends, uint8(arg0(s, i))).pop()
 		case event.SPEWriteOutMboxExit, event.SPEWriteIntrMboxExit:
-			ensureFifo(outMbox, e.Core).push(i)
+			ensureFifo(outMbox, s.Core[i]).push(i)
 		case event.PPEReadOutMboxExit, event.PPEReadIntrMboxExit:
-			crossDep[i] = ensureFifo(outMbox, uint8(e.Args[0])).pop()
+			crossDep[i] = ensureFifo(outMbox, uint8(arg0(s, i))).pop()
 		case event.PPEWriteInMboxExit:
-			ensureFifo(inMbox, e.Args[0]).push(i)
+			ensureFifo(inMbox, arg0(s, i)).push(i)
 		case event.SPEReadInMboxExit:
-			crossDep[i] = ensureFifo(inMbox, uint64(e.Core)).pop()
+			crossDep[i] = ensureFifo(inMbox, uint64(s.Core[i])).pop()
 		case event.PPEWriteSignal:
-			ensureFifo(signals, sigKey{e.Args[0], e.Args[1]}).push(i)
+			ensureFifo(signals, sigKey{arg0(s, i), arg1(s, i)}).push(i)
 		case event.SPESndsig:
-			ensureFifo(signals, sigKey{e.Args[0], e.Args[1]}).push(i)
+			ensureFifo(signals, sigKey{arg0(s, i), arg1(s, i)}).push(i)
 		case event.SPEReadSignalExit:
-			crossDep[i] = ensureFifo(signals, sigKey{uint64(e.Core), e.Args[0]}).pop()
+			crossDep[i] = ensureFifo(signals, sigKey{uint64(s.Core[i]), arg0(s, i)}).pop()
 		}
 	}
 	return walkCriticalPath(tr, prevOnCore, crossDep)
@@ -241,31 +273,31 @@ func ComputeCriticalPathSerial(tr *Trace) *CriticalPath {
 // walkCriticalPath is the sequential backward walk over the prepared
 // predecessor and dependency indexes, shared by both implementations.
 func walkCriticalPath(tr *Trace, prevOnCore, crossDep []int) *CriticalPath {
+	s := tr.col
 	cp := &CriticalPath{CoreTicks: map[uint8]uint64{}}
-	cur := len(tr.Events) - 1
+	cur := s.Len() - 1
 	for cur >= 0 {
-		e := &tr.Events[cur]
 		prev := prevOnCore[cur]
 		cross := crossDep[cur]
 		// The binding predecessor is the later of the two.
 		next := prev
 		isCross := false
-		if cross >= 0 && (prev < 0 || tr.Events[cross].Global > tr.Events[prev].Global) {
+		if cross >= 0 && (prev < 0 || s.Global[cross] > s.Global[prev]) {
 			next = cross
 			isCross = true
 		}
 		start := uint64(0)
 		if next >= 0 {
-			start = tr.Events[next].Global
-		} else if len(tr.Events) > 0 {
-			start = tr.Events[0].Global
+			start = s.Global[next]
+		} else if s.Len() > 0 {
+			start = s.Global[0]
 		}
-		if e.Global > start {
+		if g := s.Global[cur]; g > start {
 			cp.Segments = append(cp.Segments, PathSegment{
-				Core: e.Core, Run: e.Run, Start: start, End: e.Global,
-				Via: e.ID, Cross: isCross,
+				Core: s.Core[cur], Run: int(s.Run[cur]), Start: start, End: g,
+				Via: s.ID[cur], Cross: isCross,
 			})
-			cp.CoreTicks[e.Core] += e.Global - start
+			cp.CoreTicks[s.Core[cur]] += g - start
 		}
 		cur = next
 	}

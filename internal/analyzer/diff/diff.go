@@ -280,7 +280,7 @@ func diffTraces(a, b *analyzer.Trace, opt Options, par bool) (*Report, error) {
 func computeSide(tr *analyzer.Trace, crit *analyzer.CriticalPath, par bool) *side {
 	s := &side{
 		workload:   tr.Meta.Workload,
-		records:    len(tr.Events),
+		records:    tr.NumEvents(),
 		confidence: overallConfidence(tr),
 		perCore:    map[uint8]*CoreSide{},
 		groups:     map[event.Group]int{},
@@ -322,9 +322,9 @@ func computeSide(tr *analyzer.Trace, crit *analyzer.CriticalPath, par bool) *sid
 	perCore := make([]*CoreSide, len(cores))
 	perGroups := make([]map[event.Group]int, len(cores))
 	scan := func(i int) {
-		perCore[i], perGroups[i] = scanCore(tr.CoreEvents(cores[i]))
+		perCore[i], perGroups[i] = scanCore(tr, cores[i])
 	}
-	if par {
+	if par && tr.NumEvents() >= analyzer.ParallelThreshold() {
 		analyzer.RunParallel(0, len(cores), scan)
 	} else {
 		for i := range cores {
@@ -357,28 +357,31 @@ func computeSide(tr *analyzer.Trace, crit *analyzer.CriticalPath, par bool) *sid
 	return s
 }
 
-// scanCore computes one core's event-level metrics from its
-// stream-ordered view.
-func scanCore(evs []analyzer.Event) (*CoreSide, map[event.Group]int) {
-	cs := &CoreSide{Records: len(evs)}
+// scanCore computes one core's event-level metrics by walking the
+// core's stream-ordered index block against the trace's columns.
+func scanCore(tr *analyzer.Trace, core uint8) (*CoreSide, map[event.Group]int) {
+	seqs := tr.CoreSeqs(core)
+	s := tr.Columns()
+	cs := &CoreSide{Records: len(seqs)}
 	groups := map[event.Group]int{}
-	if len(evs) > 0 {
-		cs.WallTicks = evs[len(evs)-1].Global - evs[0].Global
+	if len(seqs) > 0 {
+		cs.WallTicks = s.Global[seqs[len(seqs)-1]] - s.Global[seqs[0]]
 	}
 	var waitStart uint64
 	inWait := false
-	for i := range evs {
-		e := &evs[i]
-		if info, ok := event.Lookup(e.ID); ok {
+	for _, seq := range seqs {
+		id := s.ID[seq]
+		global := s.Global[seq]
+		if info, ok := event.Lookup(id); ok {
 			groups[info.Group]++
 		}
-		switch e.ID {
+		switch id {
 		case event.SPEWaitTagEnter, event.PPEWaitTagEnter:
 			inWait = true
-			waitStart = e.Global
+			waitStart = global
 		case event.SPEWaitTagExit, event.PPEWaitTagExit:
 			if inWait {
-				cs.DMAWait.Add(e.Global - waitStart)
+				cs.DMAWait.Add(global - waitStart)
 				inWait = false
 			}
 		}

@@ -138,7 +138,7 @@ func (d *DoctorReport) WriteJSON(w io.Writer) error {
 		out.LoadErr = d.LoadErr.Error()
 	}
 	if d.Trace != nil {
-		out.Events = len(d.Trace.Events)
+		out.Events = d.Trace.NumEvents()
 		out.Runs = len(d.Trace.Meta.Anchors)
 		out.Confidence = d.Trace.Confidence.Overall
 	}
@@ -205,7 +205,7 @@ func (d *DoctorReport) Write(w io.Writer) {
 
 	tr := d.Trace
 	fmt.Fprintf(w, "\nrecovered trace: %d events across %d run(s)\n",
-		len(tr.Events), len(tr.Meta.Anchors))
+		tr.NumEvents(), len(tr.Meta.Anchors))
 	fmt.Fprintf(w, "confidence: %.1f%% overall", 100*tr.Confidence.Overall)
 	if len(tr.Confidence.PerCore) > 0 {
 		cores := make([]int, 0, len(tr.Confidence.PerCore))

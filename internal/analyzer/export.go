@@ -17,7 +17,8 @@ func WriteCSV(tr *Trace, w io.Writer) error {
 	if err := cw.Write([]string{"seq", "global_tick", "core", "run", "event", "args", "str"}); err != nil {
 		return err
 	}
-	for _, e := range tr.Events {
+	for i, n := 0, tr.NumEvents(); i < n; i++ {
+		e := tr.Event(i)
 		core := event.CoreName(e.Core)
 		args := ""
 		info, _ := event.Lookup(e.ID)

@@ -1,0 +1,67 @@
+package analyzer_test
+
+// Footprint calibration: the trace cache bounds its memory by
+// Trace.Footprint, so the estimate must track what a loaded trace
+// actually keeps live. The test measures real heap growth across a
+// batch of loads and requires the column-derived estimate to land
+// within 2x of it in either direction.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/core/traceio"
+	"github.com/celltrace/pdt/internal/harness"
+)
+
+func TestFootprintWithinTwiceMeasured(t *testing.T) {
+	events := 20000
+	if testing.Short() {
+		events = 4000
+	}
+	cfg := core.DefaultTraceConfig()
+	res, err := harness.Run(harness.Spec{
+		Workload: "synthetic",
+		Params:   map[string]string{"events": fmt.Sprint(events), "gap": "100"},
+		Trace:    &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := traceio.Parse(res.TraceBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Load several copies so the per-trace live size dwarfs allocator
+	// and GC noise; HeapAlloc after a forced GC counts live bytes only.
+	const copies = 4
+	trs := make([]*analyzer.Trace, copies)
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := range trs {
+		trs[i], err = analyzer.FromFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	measured := int64(m1.HeapAlloc-m0.HeapAlloc) / copies
+	estimate := trs[0].Footprint()
+	runtime.KeepAlive(trs)
+
+	t.Logf("events=%d estimate=%d measured=%d ratio=%.2f",
+		trs[0].NumEvents(), estimate, measured, float64(estimate)/float64(measured))
+	if measured <= 0 {
+		t.Fatalf("measured live size not positive: %d", measured)
+	}
+	if estimate < measured/2 || estimate > measured*2 {
+		t.Fatalf("Footprint()=%d not within 2x of measured live size %d", estimate, measured)
+	}
+}

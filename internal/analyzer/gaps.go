@@ -20,23 +20,53 @@ type Gap struct {
 // Dur returns the gap length in timebase ticks.
 func (g Gap) Dur() uint64 { return g.End - g.Start }
 
-// FindGaps returns event-free stretches of at least minTicks inside SPE
-// runs, longest first.
-func FindGaps(tr *Trace, minTicks uint64) []Gap {
+// runGaps collects one run's gaps of at least minTicks by walking the
+// run's index block against the Global column.
+func runGaps(tr *Trace, run int, minTicks uint64) []Gap {
+	seqs := tr.runSeqsOrScan(run)
 	var out []Gap
-	for run := range tr.Meta.Anchors {
-		evs := tr.RunEvents(run)
-		for i := 1; i < len(evs); i++ {
-			d := evs[i].Global - evs[i-1].Global
-			if d >= minTicks {
-				out = append(out, Gap{
-					Run: run, Core: evs[i].Core,
-					Start: evs[i-1].Global, End: evs[i].Global,
-				})
-			}
+	s := tr.col
+	for i := 1; i < len(seqs); i++ {
+		prev, cur := s.Global[seqs[i-1]], s.Global[seqs[i]]
+		if cur-prev >= minTicks {
+			out = append(out, Gap{
+				Run: run, Core: s.Core[seqs[i]],
+				Start: prev, End: cur,
+			})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dur() > out[j].Dur() })
+	return out
+}
+
+// FindGaps returns event-free stretches of at least minTicks inside SPE
+// runs, longest first. Past the adaptive-parallelism threshold the
+// independent per-run scans execute concurrently and are concatenated in
+// run order before the global sort, which produces exactly the output of
+// FindGapsSerial.
+func FindGaps(tr *Trace, minTicks uint64) []Gap {
+	n := len(tr.Meta.Anchors)
+	if n < 2 || !tr.parallelWorthwhile() {
+		return FindGapsSerial(tr, minTicks)
+	}
+	parts := make([][]Gap, n)
+	runParallel(0, n, func(run int) {
+		parts[run] = runGaps(tr, run, minTicks)
+	})
+	var out []Gap
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dur() > out[j].Dur() })
+	return out
+}
+
+// FindGapsSerial is the sequential reference for FindGaps.
+func FindGapsSerial(tr *Trace, minTicks uint64) []Gap {
+	var out []Gap
+	for run := range tr.Meta.Anchors {
+		out = append(out, runGaps(tr, run, minTicks)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dur() > out[j].Dur() })
 	return out
 }
 
@@ -45,10 +75,11 @@ func FindGaps(tr *Trace, minTicks uint64) []Gap {
 // the very gaps being hunted), floored at 10 ticks.
 func SuggestGapThreshold(tr *Trace) uint64 {
 	var dists []uint64
+	s := tr.col
 	for run := range tr.Meta.Anchors {
-		evs := tr.RunEvents(run)
-		for i := 1; i < len(evs); i++ {
-			dists = append(dists, evs[i].Global-evs[i-1].Global)
+		seqs := tr.runSeqsOrScan(run)
+		for i := 1; i < len(seqs); i++ {
+			dists = append(dists, s.Global[seqs[i]]-s.Global[seqs[i-1]])
 		}
 	}
 	if len(dists) == 0 {

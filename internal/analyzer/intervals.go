@@ -72,17 +72,39 @@ var stallState = map[event.ID]State{
 	event.SPEAtomicEnter:        StateStallSync,
 }
 
-// RunIntervals reconstructs the state intervals of one SPE program run.
-// The run spans SPE_PROGRAM_START..SPE_PROGRAM_END; time not inside a
-// stall or flush is attributed to compute.
-func RunIntervals(tr *Trace, run int) []Interval {
-	evs := tr.RunEvents(run)
-	if len(evs) == 0 {
+// runSeqsOrScan returns the store rows of one run: the precomputed index
+// block when the run is in range, otherwise (hand-assembled traces whose
+// metadata lacks anchors) a fresh scan of the Run column.
+func (tr *Trace) runSeqsOrScan(run int) []int32 {
+	if tr.col == nil {
 		return nil
 	}
+	if run >= 0 && run < len(tr.runSeq) {
+		return tr.runSeq[run]
+	}
+	var out []int32
+	for i, r := range tr.col.Run {
+		if int(r) == run {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// RunIntervals reconstructs the state intervals of one SPE program run.
+// The run spans SPE_PROGRAM_START..SPE_PROGRAM_END; time not inside a
+// stall or flush is attributed to compute. The scan walks the run's
+// index block against the ID and Global columns, touching arguments only
+// at flush markers.
+func RunIntervals(tr *Trace, run int) []Interval {
+	seqs := tr.runSeqsOrScan(run)
+	if len(seqs) == 0 {
+		return nil
+	}
+	s := tr.col
 	var out []Interval
-	core := evs[0].Core
-	cursor := evs[0].Global // start of the segment being classified
+	core := s.Core[seqs[0]]
+	cursor := s.Global[seqs[0]] // start of the segment being classified
 	var openState State
 	var open bool
 	var openStart uint64
@@ -94,51 +116,52 @@ func RunIntervals(tr *Trace, run int) []Interval {
 		}
 	}
 
-	for _, e := range evs {
-		info, ok := event.Lookup(e.ID)
-		if !ok {
+	for _, seq := range seqs {
+		id := s.ID[seq]
+		if int(id) >= len(kindOf) || id == 0 {
 			continue
 		}
+		global := s.Global[seq]
 		switch {
-		case info.Kind == event.KindEnter:
-			if st, stalls := stallState[e.ID]; stalls && !open {
-				emit(StateCompute, cursor, e.Global)
+		case kindOf[id] == event.KindEnter:
+			if st, stalls := stallState[id]; stalls && !open {
+				emit(StateCompute, cursor, global)
 				open = true
 				openState = st
-				openStart = e.Global
+				openStart = global
 			}
-		case info.Kind == event.KindExit:
-			if open && stallState[info.Pair] == openState {
-				emit(openState, openStart, e.Global)
+		case kindOf[id] == event.KindExit:
+			if open && stallState[pairOf[id]] == openState {
+				emit(openState, openStart, global)
 				open = false
-				cursor = e.Global
+				cursor = global
 			}
-		case e.ID == event.SPETraceFlush:
+		case id == event.SPETraceFlush:
 			// Point event stamped at flush completion; its duration in
 			// cycles is the second argument.
-			ticks := e.Args[1] / cpt
-			start := e.Global
-			if ticks < e.Global {
-				start = e.Global - ticks
+			ticks := s.Args[s.ArgOff[seq]+1] / cpt
+			start := global
+			if ticks < global {
+				start = global - ticks
 			}
 			if start < cursor {
 				start = cursor // never overlap the previous interval
 			}
 			if !open {
 				emit(StateCompute, cursor, start)
-				emit(StateFlush, start, e.Global)
-				cursor = e.Global
+				emit(StateFlush, start, global)
+				cursor = global
 			}
-		case e.ID == event.SPEProgramEnd:
+		case id == event.SPEProgramEnd:
 			if !open {
-				emit(StateCompute, cursor, e.Global)
-				cursor = e.Global
+				emit(StateCompute, cursor, global)
+				cursor = global
 			}
 		}
 	}
 	if open {
 		// Truncated trace: close the stall at the last event time.
-		last := evs[len(evs)-1].Global
+		last := s.Global[seqs[len(seqs)-1]]
 		emit(openState, openStart, last)
 	}
 	return out
@@ -151,7 +174,7 @@ func RunIntervals(tr *Trace, run int) []Interval {
 // IntervalsSerial.
 func Intervals(tr *Trace) []Interval {
 	n := len(tr.Meta.Anchors)
-	if n < 2 {
+	if n < 2 || !tr.parallelWorthwhile() {
 		return IntervalsSerial(tr)
 	}
 	parts := make([][]Interval, n)
@@ -205,9 +228,13 @@ var ppeStallState = map[event.ID]State{
 func PPEIntervals(tr *Trace) []Interval {
 	n := int(event.CorePPE) - int(event.CorePPEBase) + 1
 	parts := make([][]Interval, n)
-	runParallel(0, n, func(i int) {
+	workers := 0
+	if !tr.parallelWorthwhile() {
+		workers = 1 // small trace: the lane scans are cheaper than the pool
+	}
+	runParallel(workers, n, func(i int) {
 		core := uint8(int(event.CorePPE) - i)
-		parts[i] = ppeLaneIntervals(tr.CoreEvents(core), core, -1-i)
+		parts[i] = ppeLaneIntervals(tr, tr.CoreSeqs(core), core, -1-i)
 	})
 	var out []Interval
 	for _, p := range parts {
@@ -226,8 +253,12 @@ func PPEIntervalsSerial(tr *Trace) []Interval {
 }
 
 // ppeLaneIntervals builds the lane of one PPE thread from its own
-// stream-ordered event view.
-func ppeLaneIntervals(evs []Event, core uint8, run int) []Interval {
+// stream-ordered index block of the columnar store.
+func ppeLaneIntervals(tr *Trace, seqs []int32, core uint8, run int) []Interval {
+	if len(seqs) == 0 {
+		return nil
+	}
+	s := tr.col
 	var out []Interval
 	var cursor, lastPPE uint64
 	var started bool
@@ -239,30 +270,30 @@ func ppeLaneIntervals(evs []Event, core uint8, run int) []Interval {
 			out = append(out, Interval{Core: core, Run: run, State: state, Start: start, End: end})
 		}
 	}
-	for i := range evs {
-		e := &evs[i]
+	for _, seq := range seqs {
+		global := s.Global[seq]
 		if !started {
 			started = true
-			cursor = e.Global
+			cursor = global
 		}
-		lastPPE = e.Global
-		info, ok := event.Lookup(e.ID)
-		if !ok {
+		lastPPE = global
+		id := s.ID[seq]
+		if id == 0 || int(id) >= len(kindOf) {
 			continue
 		}
-		switch info.Kind {
+		switch kindOf[id] {
 		case event.KindEnter:
-			if st, stalls := ppeStallState[e.ID]; stalls && !open {
-				emit(StateCompute, cursor, e.Global)
+			if st, stalls := ppeStallState[id]; stalls && !open {
+				emit(StateCompute, cursor, global)
 				open = true
 				openState = st
-				openStart = e.Global
+				openStart = global
 			}
 		case event.KindExit:
-			if open && ppeStallState[info.Pair] == openState {
-				emit(openState, openStart, e.Global)
+			if open && ppeStallState[pairOf[id]] == openState {
+				emit(openState, openStart, global)
 				open = false
-				cursor = e.Global
+				cursor = global
 			}
 		}
 	}
@@ -278,8 +309,12 @@ func ppeLaneIntervals(evs []Event, core uint8, run int) []Interval {
 }
 
 // ppeThreadIntervals builds the lane of one PPE thread by scanning the
-// merged stream (the serial reference path).
+// merged stream's Core column (the serial reference path).
 func ppeThreadIntervals(tr *Trace, core uint8, run int) []Interval {
+	if tr.col == nil {
+		return nil
+	}
+	s := tr.col
 	var out []Interval
 	var cursor, lastPPE uint64
 	var started bool
@@ -291,33 +326,33 @@ func ppeThreadIntervals(tr *Trace, core uint8, run int) []Interval {
 			out = append(out, Interval{Core: core, Run: run, State: state, Start: start, End: end})
 		}
 	}
-	for i := range tr.Events {
-		e := &tr.Events[i]
-		if e.Core != core {
+	for i, c := range s.Core {
+		if c != core {
 			continue
 		}
+		global := s.Global[i]
 		if !started {
 			started = true
-			cursor = e.Global
+			cursor = global
 		}
-		lastPPE = e.Global
-		info, ok := event.Lookup(e.ID)
-		if !ok {
+		lastPPE = global
+		id := s.ID[i]
+		if id == 0 || int(id) >= len(kindOf) {
 			continue
 		}
-		switch info.Kind {
+		switch kindOf[id] {
 		case event.KindEnter:
-			if st, stalls := ppeStallState[e.ID]; stalls && !open {
-				emit(StateCompute, cursor, e.Global)
+			if st, stalls := ppeStallState[id]; stalls && !open {
+				emit(StateCompute, cursor, global)
 				open = true
 				openState = st
-				openStart = e.Global
+				openStart = global
 			}
 		case event.KindExit:
-			if open && ppeStallState[info.Pair] == openState {
-				emit(openState, openStart, e.Global)
+			if open && ppeStallState[pairOf[id]] == openState {
+				emit(openState, openStart, global)
 				open = false
-				cursor = e.Global
+				cursor = global
 			}
 		}
 	}

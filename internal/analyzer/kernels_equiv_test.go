@@ -32,7 +32,7 @@ func loadWorkloadTrace(t *testing.T, name string) *analyzer.Trace {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tr.Events) == 0 {
+	if tr.NumEvents() == 0 {
 		t.Fatal("workload produced no records")
 	}
 	return tr
@@ -55,6 +55,45 @@ func TestParallelKernelsMatchSerialAllWorkloads(t *testing.T) {
 			}
 			if want, got := analyzer.PPEIntervalsSerial(tr), analyzer.PPEIntervals(tr); !reflect.DeepEqual(want, got) {
 				t.Errorf("PPEIntervals differs from serial: %d vs %d intervals", len(want), len(got))
+			}
+			minTicks := analyzer.SuggestGapThreshold(tr)
+			if want, got := analyzer.FindGapsSerial(tr, minTicks), analyzer.FindGaps(tr, minTicks); !reflect.DeepEqual(want, got) {
+				t.Errorf("FindGaps differs from serial: %d vs %d gaps", len(want), len(got))
+			}
+		})
+	}
+}
+
+// TestColumnarRoundTripAllWorkloads checks the columnar store against
+// the record view it materializes: every event rebuilt from the columns
+// must survive a round trip through SetEvents unchanged, and the
+// per-core/per-run index views must agree before and after.
+func TestColumnarRoundTripAllWorkloads(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr := loadWorkloadTrace(t, name)
+			evs := tr.Events()
+			rt := &analyzer.Trace{Meta: tr.Meta, Strings: tr.Strings, Confidence: tr.Confidence}
+			rt.SetEvents(evs)
+			if want, got := tr.NumEvents(), rt.NumEvents(); want != got {
+				t.Fatalf("round trip lost events: %d -> %d", want, got)
+			}
+			for i, n := 0, tr.NumEvents(); i < n; i++ {
+				if !reflect.DeepEqual(tr.Event(i), rt.Event(i)) {
+					t.Fatalf("event %d differs after round trip:\nwant %+v\ngot  %+v",
+						i, tr.Event(i), rt.Event(i))
+				}
+			}
+			for _, c := range tr.Cores() {
+				if want, got := tr.CoreEvents(c), rt.CoreEvents(c); !reflect.DeepEqual(want, got) {
+					t.Fatalf("core %d view differs after round trip", c)
+				}
+			}
+			for run := range tr.Meta.Anchors {
+				if want, got := tr.RunEvents(run), rt.RunEvents(run); !reflect.DeepEqual(want, got) {
+					t.Fatalf("run %d view differs after round trip", run)
+				}
 			}
 		})
 	}

@@ -12,12 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"github.com/celltrace/pdt/internal/analyzer/colstore"
 	"github.com/celltrace/pdt/internal/core/event"
 	"github.com/celltrace/pdt/internal/core/traceio"
 )
@@ -36,11 +36,13 @@ var ErrLimitExceeded = traceio.ErrLimitExceeded
 // that only import the analyzer.
 func DefaultServiceLimits() Limits { return traceio.DefaultServiceLimits() }
 
-// eventFootprint is the budgeted in-core cost of one decoded Event in
-// bytes: the struct itself (~88 bytes) plus its share of argument backing
-// arrays and the per-core/per-run index copies. MaxDecodeBytes divided by
-// this gives the record budget the decode stage enforces.
-const eventFootprint = 128
+// eventFootprint is the budgeted in-core cost of one decoded event in
+// bytes under the columnar store: ~32 bytes of fixed-width columns, a
+// couple of argument words, and the 8 bytes of per-core plus per-run
+// index entries. MaxDecodeBytes divided by this gives the record budget
+// the decode stage enforces; Trace.Footprint reports the exact measured
+// size after the fact.
+const eventFootprint = 64
 
 // errDecodePanic marks a chunk whose decode panicked; the per-worker
 // recovery converts it into a per-chunk Issue so one poisoned chunk
@@ -53,7 +55,10 @@ var errDecodePanic = errors.New("analyzer: panic while decoding chunk")
 var decodePanicHook func(chunk int)
 
 // Event is one trace record with its reconstructed global time (in
-// timebase ticks) and a stable sequence number.
+// timebase ticks) and a stable sequence number. It is the materialized,
+// record-shaped view of one row of the columnar store: kernels scan the
+// columns directly, while callers that want a self-contained value use
+// Trace.Event or the CoreEvents/RunEvents views.
 type Event struct {
 	event.Record
 	// Global is the event time in PPE timebase ticks.
@@ -73,42 +78,62 @@ type Issue struct {
 
 func (i Issue) String() string { return i.Severity + ": " + i.Msg }
 
-// Trace is a fully loaded and merged PDT trace.
+// Trace is a fully loaded and merged PDT trace. The event stream lives
+// in a struct-of-arrays columnar store (see colstore): kernels scan the
+// columns they need, everything else materializes Event values through
+// the accessors.
 type Trace struct {
 	Header    traceio.Header
 	Meta      traceio.Meta
-	Events    []Event // merged, sorted by Global (stable)
 	Strings   map[uint64]string
 	Truncated bool
 	Issues    []Issue // populated by Load (decoding) and Validate
 	// Confidence estimates what fraction of the records the tracer
-	// produced actually made it into Events, overall and per core — 1.0
-	// on a clean complete trace, lower when records were dropped at
+	// produced actually made it into the store, overall and per core —
+	// 1.0 on a clean complete trace, lower when records were dropped at
 	// trace time or lost to corruption (salvaged loads).
 	Confidence Confidence
 
-	// coreIndex and runIndex are per-core / per-run views of Events in
-	// stream order, built once at load so CoreEvents and RunEvents do
-	// not re-scan the whole stream on every call. They are nil on
-	// hand-assembled Trace values, which fall back to scanning.
-	coreIndex map[uint8][]Event
-	runIndex  [][]Event
+	// col is the columnar event store, in merged order (ascending
+	// Global, stable by file position), so a row index is the event's
+	// sequence number. Nil only on zero-value Traces; hand-assembled
+	// traces populate it through SetEvents.
+	col *colstore.Store
+
+	// coreSeq and runSeq map cores and runs to their rows of col in
+	// stream order. Both index families are carved out of one shared
+	// int32 arena each, built once at load, so per-core kernel shards
+	// walk a contiguous index block instead of re-scanning the stream.
+	coreSeq map[uint8][]int32
+	runSeq  [][]int32
 }
 
-// LoadFile loads a trace from disk.
+// LoadFile loads a trace from disk through the zero-copy path: the file
+// is memory-mapped when the platform allows (plain read otherwise) and
+// records decode straight out of the mapped region into the column
+// arenas, which own copies of everything by the time the mapping is
+// released.
 func LoadFile(path string) (*Trace, error) {
 	return LoadFileContext(context.Background(), path, Limits{})
 }
 
 // LoadFileContext loads a trace from disk under cancellation and
-// admission control.
+// admission control. See LoadFile for the mmap semantics.
 func LoadFileContext(ctx context.Context, path string, lim Limits) (*Trace, error) {
-	f, err := os.Open(path)
+	m, err := traceio.MapFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return LoadContext(ctx, f, lim)
+	defer m.Close()
+	if lim.MaxFileBytes > 0 && int64(len(m.Data())) > lim.MaxFileBytes {
+		return nil, fmt.Errorf("%w: file size %d exceeds limit %d",
+			ErrLimitExceeded, len(m.Data()), lim.MaxFileBytes)
+	}
+	f, err := traceio.ParseContext(ctx, m.Data(), lim)
+	if err != nil {
+		return nil, err
+	}
+	return FromFileContext(ctx, f, lim)
 }
 
 // Load parses, decodes and merges a trace.
@@ -132,11 +157,11 @@ func LoadContext(ctx context.Context, r io.Reader, lim Limits) (*Trace, error) {
 // FromFile merges an already-parsed trace file through the parallel
 // decode→merge→index pipeline: chunks are decoded concurrently by a
 // bounded worker pool, the per-chunk streams (each time-ordered at the
-// source) are combined with a k-way heap merge, and the per-core and
-// per-run views are indexed once. The resulting event order is exactly
-// the one FromFileSerial's global stable sort produces: ascending Global
-// time, ties broken by chunk position in the file, then record position
-// within the chunk.
+// source) are combined with a k-way heap merge directly into the columnar
+// store, and the per-core and per-run index arenas are built once. The
+// resulting event order is exactly the one FromFileSerial's global stable
+// sort produces: ascending Global time, ties broken by chunk position in
+// the file, then record position within the chunk.
 func FromFile(f *traceio.File) (*Trace, error) {
 	return fromFile(context.Background(), f, runtime.GOMAXPROCS(0), false, Limits{})
 }
@@ -174,12 +199,25 @@ type stringDef struct {
 	s   string
 }
 
+// chunkStream is one decoded chunk ready for the k-way merge: the
+// records in stream order, the parallel Global-timeline column (anchor
+// times already resolved), and the run every record belongs to (-1 for
+// PPE chunks). Keeping records and timeline as two flat slices instead
+// of wrapping each record in an Event halves the bytes the merge moves
+// and lets the heap compare raw uint64s.
+type chunkStream struct {
+	recs    []event.Record
+	globals []uint64
+	run     int32
+}
+
 // chunkResult is everything one worker produced for one chunk.
 type chunkResult struct {
-	events  []Event
-	strings []stringDef
-	issues  []Issue
-	err     error
+	stream   chunkStream
+	argWords int // total argument words across records
+	strings  []stringDef
+	issues   []Issue
+	err      error
 }
 
 // recordBudget folds the record-count and decode-memory limits into one
@@ -230,8 +268,7 @@ func fromFile(ctx context.Context, f *traceio.File, workers int, lenient bool, l
 	tr := newTrace(f)
 	n := len(f.Chunks)
 	if n == 0 {
-		tr.buildIndexes()
-		tr.Confidence = computeConfidence(tr, nil)
+		tr.finish(colstore.NewBuilder(0, 0))
 		return tr, nil
 	}
 	if workers > n {
@@ -291,8 +328,8 @@ func fromFile(ctx context.Context, f *traceio.File, workers int, lenient bool, l
 	// recovered in a worker become per-chunk issues (the chunk's records
 	// are lost to the unwind); admission failures abort even lenient
 	// loads.
-	total := 0
-	streams := make([][]Event, n)
+	total, argWords := 0, 0
+	streams := make([]chunkStream, n)
 	for i := range results {
 		r := &results[i]
 		if r.err != nil {
@@ -313,20 +350,24 @@ func fromFile(ctx context.Context, f *traceio.File, workers int, lenient bool, l
 		for _, sd := range r.strings {
 			tr.Strings[sd.ref] = sd.s
 		}
-		streams[i] = r.events
-		total += len(r.events)
+		streams[i] = r.stream
+		total += len(r.stream.recs)
+		argWords += r.argWords
 	}
-	var err error
-	tr.Events, err = mergeStreams(ctx, streams, total)
-	if err != nil {
+	b := colstore.NewBuilder(total, argWords)
+	if err := mergeStreams(ctx, b, streams, total); err != nil {
 		return nil, err
 	}
-	for i := range tr.Events {
-		tr.Events[i].Seq = i
-	}
+	tr.finish(b)
+	return tr, nil
+}
+
+// finish installs the built columns and derives the indexes and
+// confidence shared by every load path.
+func (tr *Trace) finish(b *colstore.Builder) {
+	tr.col = b.Done()
 	tr.buildIndexes()
 	tr.Confidence = computeConfidence(tr, nil)
-	return tr, nil
 }
 
 // decodeChunkEvents decodes one chunk into its event stream, resolving
@@ -400,58 +441,83 @@ func decodeChunkEvents(ctx context.Context, f *traceio.File, i int, lenient bool
 		run = int(c.AnchorIdx)
 		anchorTB = a.Timebase
 	}
-	evs := make([]Event, len(recs))
+	globals := make([]uint64, len(recs))
 	sorted := true
-	for j, rec := range recs {
-		ev := &evs[j]
-		ev.Record = rec
-		ev.Run = run
+	for j := range recs {
+		rec := &recs[j]
 		if rec.Flags&event.FlagDecrTime != 0 {
 			// SPU decrementer time: elapsed ticks since the anchor.
-			ev.Global = anchorTB + rec.Time
+			globals[j] = anchorTB + rec.Time
 		} else {
-			ev.Global = rec.Time
+			globals[j] = rec.Time
 		}
+		res.argWords += len(rec.Args)
 		if rec.ID == event.StringDef && len(rec.Args) == 1 {
 			res.strings = append(res.strings, stringDef{rec.Args[0], rec.Str})
 		}
-		if j > 0 && evs[j-1].Global > ev.Global {
+		if j > 0 && globals[j-1] > globals[j] {
 			sorted = false
 		}
 	}
 	if !sorted {
-		sort.SliceStable(evs, func(a, b int) bool { return evs[a].Global < evs[b].Global })
+		sort.Stable(&streamSorter{recs, globals})
 	}
-	res.events = evs
+	res.stream = chunkStream{recs, globals, int32(run)}
 	return res
 }
 
-// streamHead is one live input of the k-way merge: the remaining events
-// of a chunk plus the chunk's file position, which breaks Global ties.
-type streamHead struct {
-	ev  []Event
-	idx int
+// streamSorter stable-sorts a decoded chunk by Global, keeping the
+// record and timeline slices aligned.
+type streamSorter struct {
+	recs    []event.Record
+	globals []uint64
 }
 
-// headLess orders heap entries by (Global of next event, chunk index);
+func (s *streamSorter) Len() int           { return len(s.recs) }
+func (s *streamSorter) Less(i, j int) bool { return s.globals[i] < s.globals[j] }
+func (s *streamSorter) Swap(i, j int) {
+	s.recs[i], s.recs[j] = s.recs[j], s.recs[i]
+	s.globals[i], s.globals[j] = s.globals[j], s.globals[i]
+}
+
+// streamHead is one live input of the k-way merge: a chunk's stream and
+// a cursor into it. Heads sit at fixed positions in one array; only the
+// small mergeEnt keys move through the heap.
+type streamHead struct {
+	recs    []event.Record
+	globals []uint64
+	run     int32
+	pos     int
+}
+
+// mergeEnt is one heap entry: the cached next key of a stream plus the
+// stream's identity. 16 bytes, so heap swaps are two register moves
+// instead of duffcopying whole stream heads, and the comparisons — the
+// hottest reads of the merge — touch only the heap slice itself.
+type mergeEnt struct {
+	nextG uint64 // == head.globals[head.pos] while the stream is live
+	idx   int32  // chunk file position: breaks Global ties
+	hi    int32  // index into the heads array
+}
+
+// entLess orders heap entries by (Global of next event, chunk index);
 // the chunk index is unique, so the order is total and the merge output
 // is exactly the stable-sort order over the chunk-concatenated stream.
-func headLess(a, b *streamHead) bool {
-	ga, gb := a.ev[0].Global, b.ev[0].Global
-	return ga < gb || (ga == gb && a.idx < b.idx)
+func entLess(a, b mergeEnt) bool {
+	return a.nextG < b.nextG || (a.nextG == b.nextG && a.idx < b.idx)
 }
 
-func siftDown(h []streamHead, i int) {
+func siftDown(h []mergeEnt, i int) {
 	for {
 		l := 2*i + 1
 		if l >= len(h) {
 			return
 		}
 		m := l
-		if r := l + 1; r < len(h) && headLess(&h[r], &h[l]) {
+		if r := l + 1; r < len(h) && entLess(h[r], h[l]) {
 			m = r
 		}
-		if !headLess(&h[m], &h[i]) {
+		if !entLess(h[m], h[i]) {
 			return
 		}
 		h[i], h[m] = h[m], h[i]
@@ -466,73 +532,192 @@ func siftDown(h []streamHead, i int) {
 const mergeCtxStride = 1 << 14
 
 // mergeStreams k-way merges per-chunk event streams, each ascending in
-// Global, into one slice of length total: O(N log k) instead of the
-// O(N log N) global sort, with no reflection in the hot loop. The merge
-// polls ctx every mergeCtxStride events and aborts with ctx.Err().
-func mergeStreams(ctx context.Context, streams [][]Event, total int) ([]Event, error) {
-	h := make([]streamHead, 0, len(streams))
-	for i, s := range streams {
-		if len(s) > 0 {
-			h = append(h, streamHead{s, i})
+// Global, into the columnar builder: O(N log k) instead of the
+// O(N log N) global sort, with no reflection in the hot loop, and the
+// merged rows land directly in their final columns (the transient
+// per-chunk record and timeline slices die here). The merge polls ctx
+// every mergeCtxStride events and aborts with ctx.Err().
+func mergeStreams(ctx context.Context, b *colstore.Builder, streams []chunkStream, total int) error {
+	heads := make([]streamHead, 0, len(streams))
+	h := make([]mergeEnt, 0, len(streams))
+	for i := range streams {
+		s := &streams[i]
+		if len(s.recs) > 0 {
+			h = append(h, mergeEnt{nextG: s.globals[0], idx: int32(i), hi: int32(len(heads))})
+			heads = append(heads, streamHead{recs: s.recs, globals: s.globals, run: s.run})
 		}
 	}
 	if len(h) == 0 {
-		return nil, nil
-	}
-	if len(h) == 1 {
-		return h[0].ev, nil
+		return nil
 	}
 	for i := len(h)/2 - 1; i >= 0; i-- {
 		siftDown(h, i)
 	}
-	out := make([]Event, 0, total)
+	poll := mergeCtxStride
 	for len(h) > 1 {
-		if len(out)%mergeCtxStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
+		// The runner-up entry (the smaller heap child of the root) bounds
+		// how far the top stream may drain before the heap must be
+		// re-established. Chunks are time-clustered — each SPE run owns a
+		// contiguous region of the timeline — so draining a whole run per
+		// heap round replaces one siftDown per event with one per run.
+		e := h[0]
+		hd := &heads[e.hi]
+		r := 1
+		if 2 < len(h) && entLess(h[2], h[1]) {
+			r = 2
 		}
-		top := &h[0]
-		out = append(out, top.ev[0])
-		top.ev = top.ev[1:]
-		if len(top.ev) == 0 {
+		runner := h[r]
+		g := e.nextG
+		exhausted := false
+		for {
+			if poll--; poll <= 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				poll = mergeCtxStride
+			}
+			if g > runner.nextG || (g == runner.nextG && e.idx > runner.idx) {
+				break
+			}
+			b.Append(&hd.recs[hd.pos], g, hd.run)
+			hd.pos++
+			if hd.pos == len(hd.recs) {
+				exhausted = true
+				break
+			}
+			g = hd.globals[hd.pos]
+		}
+		if exhausted {
 			h[0] = h[len(h)-1]
 			h = h[:len(h)-1]
+		} else {
+			h[0].nextG = g
 		}
 		siftDown(h, 0)
 	}
-	return append(out, h[0].ev...), nil
+	// Sole surviving stream: drain its tail without heap maintenance.
+	hd := &heads[h[0].hi]
+	for ; hd.pos < len(hd.recs); hd.pos++ {
+		b.Append(&hd.recs[hd.pos], hd.globals[hd.pos], hd.run)
+	}
+	return nil
 }
 
-// buildIndexes precomputes the CoreEvents and RunEvents views in two
-// passes (count, then fill) so every view is allocated exactly once.
+// buildIndexes precomputes the per-core and per-run row-index arenas in
+// two passes (count, then fill) so each index family is one allocation
+// carved into contiguous per-core (per-run) blocks.
 func (tr *Trace) buildIndexes() {
-	coreCount := make(map[uint8]int)
+	s := tr.col
+	n := s.Len()
+	var coreCount [257]int // prefix offsets; entry c counts core c
 	runCount := make([]int, len(tr.Meta.Anchors))
-	for i := range tr.Events {
-		e := &tr.Events[i]
-		coreCount[e.Core]++
-		if e.Run >= 0 && e.Run < len(runCount) {
-			runCount[e.Run]++
+	for i := 0; i < n; i++ {
+		coreCount[s.Core[i]]++
+		if r := s.Run[i]; r >= 0 && int(r) < len(runCount) {
+			runCount[r]++
 		}
 	}
-	tr.coreIndex = make(map[uint8][]Event, len(coreCount))
-	for c, n := range coreCount {
-		tr.coreIndex[c] = make([]Event, 0, n)
-	}
-	tr.runIndex = make([][]Event, len(runCount))
-	for r, n := range runCount {
-		if n > 0 {
-			tr.runIndex[r] = make([]Event, 0, n)
+	distinct := 0
+	for c := 0; c < 256; c++ {
+		if coreCount[c] > 0 {
+			distinct++
 		}
 	}
-	for i := range tr.Events {
-		e := tr.Events[i]
-		tr.coreIndex[e.Core] = append(tr.coreIndex[e.Core], e)
-		if e.Run >= 0 && e.Run < len(tr.runIndex) {
-			tr.runIndex[e.Run] = append(tr.runIndex[e.Run], e)
+	coreArena := make([]int32, n)
+	var coreOff [257]int
+	sum := 0
+	for c := 0; c < 256; c++ {
+		coreOff[c] = sum
+		sum += coreCount[c]
+	}
+	coreOff[256] = sum
+
+	runTotal := 0
+	for _, c := range runCount {
+		runTotal += c
+	}
+	runArena := make([]int32, runTotal)
+	runOff := make([]int, len(runCount)+1)
+	sum = 0
+	for r, c := range runCount {
+		runOff[r] = sum
+		sum += c
+	}
+	runOff[len(runCount)] = sum
+
+	coreCur := coreOff
+	runCur := append([]int(nil), runOff...)
+	for i := 0; i < n; i++ {
+		c := s.Core[i]
+		coreArena[coreCur[c]] = int32(i)
+		coreCur[c]++
+		if r := s.Run[i]; r >= 0 && int(r) < len(runCount) {
+			runArena[runCur[r]] = int32(i)
+			runCur[r]++
 		}
 	}
+	tr.coreSeq = make(map[uint8][]int32, distinct)
+	for c := 0; c < 256; c++ {
+		if coreCount[c] > 0 {
+			tr.coreSeq[uint8(c)] = coreArena[coreOff[c]:coreOff[c+1]:coreOff[c+1]]
+		}
+	}
+	tr.runSeq = make([][]int32, len(runCount))
+	for r := range runCount {
+		if runCount[r] > 0 {
+			tr.runSeq[r] = runArena[runOff[r]:runOff[r+1]:runOff[r+1]]
+		}
+	}
+}
+
+// NumEvents returns the number of events in the merged stream.
+func (tr *Trace) NumEvents() int {
+	if tr.col == nil {
+		return 0
+	}
+	return tr.col.Len()
+}
+
+// Columns exposes the raw columnar store for kernels in sibling packages
+// (analyzer/diff scans it directly). Nil on zero-value Traces; callers
+// must not mutate it.
+func (tr *Trace) Columns() *colstore.Store { return tr.col }
+
+// Event materializes row i of the store as a self-contained value. The
+// Args slice views the shared arena (nil for zero-argument events) and
+// must not be mutated.
+func (tr *Trace) Event(i int) Event {
+	s := tr.col
+	return Event{Record: s.Record(i), Global: s.Global[i], Run: int(s.Run[i]), Seq: i}
+}
+
+// Events materializes the whole merged stream. It exists for tests and
+// small tools that want to range over record-shaped values; analysis
+// code should scan the columns or index with Event instead of paying the
+// O(n) copy.
+func (tr *Trace) Events() []Event {
+	if tr.col == nil {
+		return nil
+	}
+	out := make([]Event, tr.col.Len())
+	for i := range out {
+		out[i] = tr.Event(i)
+	}
+	return out
+}
+
+// SetEvents replaces the trace's event store with the given events,
+// rebuilding the columns and indexes. It is the assembly path for tests
+// and tools that construct traces by hand; the events must already be in
+// stream order (their Seq fields are ignored and become their indexes).
+func (tr *Trace) SetEvents(evs []Event) {
+	b := colstore.NewBuilder(len(evs), 0)
+	for i := range evs {
+		ev := &evs[i]
+		b.Append(&ev.Record, ev.Global, int32(ev.Run))
+	}
+	tr.col = b.Done()
+	tr.buildIndexes()
 }
 
 // StringRef resolves an interned string reference.
@@ -543,33 +728,58 @@ func (tr *Trace) StringRef(ref uint64) string {
 	return fmt.Sprintf("<str:%d>", ref)
 }
 
-// CoreEvents returns the events of one core in stream order. On traces
-// built by the load pipeline this is a precomputed view; callers must
-// not modify it.
-func (tr *Trace) CoreEvents(core uint8) []Event {
-	if tr.coreIndex != nil {
-		return tr.coreIndex[core]
+// CoreSeqs returns the row indexes of one core's events in stream order
+// (one contiguous block of the core index arena). Callers must not
+// modify it.
+func (tr *Trace) CoreSeqs(core uint8) []int32 { return tr.coreSeq[core] }
+
+// RunSeqs returns the row indexes of one SPE program run in stream
+// order, or nil when run is out of range (PPE events carry run -1 and
+// are found by scanning the Run column). Callers must not modify it.
+func (tr *Trace) RunSeqs(run int) []int32 {
+	if run >= 0 && run < len(tr.runSeq) {
+		return tr.runSeq[run]
 	}
-	var out []Event
-	for _, e := range tr.Events {
-		if e.Core == core {
-			out = append(out, e)
-		}
+	return nil
+}
+
+// materialize builds Event values for the given store rows.
+func (tr *Trace) materialize(seqs []int32) []Event {
+	if len(seqs) == 0 {
+		return nil
+	}
+	out := make([]Event, len(seqs))
+	for j, i := range seqs {
+		out[j] = tr.Event(int(i))
 	}
 	return out
 }
 
+// CoreEvents returns the events of one core in stream order. The slice
+// is materialized from the columnar store on every call; kernels should
+// scan CoreSeqs against the columns instead.
+func (tr *Trace) CoreEvents(core uint8) []Event {
+	if tr.col == nil {
+		return nil
+	}
+	return tr.materialize(tr.coreSeq[core])
+}
+
 // RunEvents returns the events of one SPE program run in stream order.
-// On traces built by the load pipeline this is a precomputed view;
-// callers must not modify it.
+// Out-of-range runs (notably -1, the PPE pseudo-run) fall back to a
+// column scan. The slice is materialized on every call; kernels should
+// scan RunSeqs against the columns instead.
 func (tr *Trace) RunEvents(run int) []Event {
-	if tr.runIndex != nil && run >= 0 && run < len(tr.runIndex) {
-		return tr.runIndex[run]
+	if tr.col == nil {
+		return nil
+	}
+	if run >= 0 && run < len(tr.runSeq) {
+		return tr.materialize(tr.runSeq[run])
 	}
 	var out []Event
-	for _, e := range tr.Events {
-		if e.Run == run {
-			out = append(out, e)
+	for i, r := range tr.col.Run {
+		if int(r) == run {
+			out = append(out, tr.Event(i))
 		}
 	}
 	return out
@@ -577,10 +787,10 @@ func (tr *Trace) RunEvents(run int) []Event {
 
 // Span returns the [first, last] global time covered by the trace.
 func (tr *Trace) Span() (start, end uint64) {
-	if len(tr.Events) == 0 {
+	if tr.NumEvents() == 0 {
 		return 0, 0
 	}
-	return tr.Events[0].Global, tr.Events[len(tr.Events)-1].Global
+	return tr.col.Global[0], tr.col.Global[tr.col.Len()-1]
 }
 
 // CyclesPerTick converts timebase ticks to processor cycles.

@@ -80,8 +80,8 @@ func TestFromFileContextCancelMidPipeline(t *testing.T) {
 		cancel()
 		switch {
 		case err == nil:
-			if len(tr.Events) != 16*4000 {
-				t.Fatalf("trial %d: complete load has %d events, want %d", trial, len(tr.Events), 16*4000)
+			if tr.NumEvents() != 16*4000 {
+				t.Fatalf("trial %d: complete load has %d events, want %d", trial, tr.NumEvents(), 16*4000)
 			}
 		case errors.Is(err, context.Canceled):
 			if tr != nil {
@@ -144,8 +144,8 @@ func TestFromFileLimits(t *testing.T) {
 	if err != nil {
 		t.Fatalf("within limits: %v", err)
 	}
-	if len(tr.Events) != 2000 {
-		t.Fatalf("admitted load lost events: %d", len(tr.Events))
+	if tr.NumEvents() != 2000 {
+		t.Fatalf("admitted load lost events: %d", tr.NumEvents())
 	}
 }
 
@@ -166,8 +166,8 @@ func TestDecodePanicBecomesIssue(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load with poisoned chunk failed outright: %v", err)
 	}
-	if len(tr.Events) != 3*100 {
-		t.Fatalf("got %d events, want the 300 from intact chunks", len(tr.Events))
+	if tr.NumEvents() != 3*100 {
+		t.Fatalf("got %d events, want the 300 from intact chunks", tr.NumEvents())
 	}
 	found := false
 	for _, is := range tr.Issues {

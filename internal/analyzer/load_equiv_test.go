@@ -62,16 +62,16 @@ func TestParallelLoadMatchesSerialAllWorkloads(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(want.Events) == 0 {
+			if want.NumEvents() == 0 {
 				t.Fatal("reference trace is empty — workload produced no records")
 			}
-			if len(want.Events) != len(got.Events) {
-				t.Fatalf("event count: serial %d, parallel %d", len(want.Events), len(got.Events))
+			if want.NumEvents() != got.NumEvents() {
+				t.Fatalf("event count: serial %d, parallel %d", want.NumEvents(), got.NumEvents())
 			}
-			for i := range want.Events {
-				if !reflect.DeepEqual(want.Events[i], got.Events[i]) {
+			for i, n := 0, want.NumEvents(); i < n; i++ {
+				if !reflect.DeepEqual(want.Event(i), got.Event(i)) {
 					t.Fatalf("event %d differs:\nserial   %+v\nparallel %+v",
-						i, want.Events[i], got.Events[i])
+						i, want.Event(i), got.Event(i))
 				}
 			}
 			if !reflect.DeepEqual(want.Issues, got.Issues) {

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 
+	"github.com/celltrace/pdt/internal/analyzer/colstore"
 	"github.com/celltrace/pdt/internal/core/event"
 	"github.com/celltrace/pdt/internal/core/traceio"
 )
@@ -52,12 +53,12 @@ func assertTracesEqual(t *testing.T, want, got *Trace) {
 	if !reflect.DeepEqual(want.Strings, got.Strings) {
 		t.Fatalf("Strings differ:\nwant %v\ngot  %v", want.Strings, got.Strings)
 	}
-	if len(want.Events) != len(got.Events) {
-		t.Fatalf("event count: want %d got %d", len(want.Events), len(got.Events))
+	if want.NumEvents() != got.NumEvents() {
+		t.Fatalf("event count: want %d got %d", want.NumEvents(), got.NumEvents())
 	}
-	for i := range want.Events {
-		if !reflect.DeepEqual(want.Events[i], got.Events[i]) {
-			t.Fatalf("event %d differs:\nwant %+v\ngot  %+v", i, want.Events[i], got.Events[i])
+	for i, n := 0, want.NumEvents(); i < n; i++ {
+		if !reflect.DeepEqual(want.Event(i), got.Event(i)) {
+			t.Fatalf("event %d differs:\nwant %+v\ngot  %+v", i, want.Event(i), got.Event(i))
 		}
 	}
 	for core := 0; core < 8; core++ {
@@ -217,41 +218,45 @@ func TestPipelineBadAnchorError(t *testing.T) {
 }
 
 // TestMergeStreams exercises the k-way merge directly on corner cases.
+// Each stream's run tag is set to its own index so the Run column
+// records which stream every merged row came from, making the
+// tie-breaking order observable.
 func TestMergeStreams(t *testing.T) {
-	ev := func(global uint64, seqTag int) Event {
-		return Event{Global: global, Run: seqTag}
+	stream := func(tag int32, globals ...uint64) chunkStream {
+		return chunkStream{recs: make([]event.Record, len(globals)), globals: globals, run: tag}
 	}
 	cases := []struct {
 		name    string
-		streams [][]Event
+		streams []chunkStream
 		want    []uint64 // expected Global order
 		runs    []int    // expected Run (stream tag) order, checking ties
 	}{
 		{"empty", nil, nil, nil},
-		{"single", [][]Event{{ev(3, 0), ev(5, 0)}}, []uint64{3, 5}, []int{0, 0}},
+		{"single", []chunkStream{stream(0, 3, 5)}, []uint64{3, 5}, []int{0, 0}},
 		{"ties break by chunk order",
-			[][]Event{{ev(1, 0), ev(2, 0)}, {ev(1, 1), ev(2, 1)}, {ev(1, 2)}},
+			[]chunkStream{stream(0, 1, 2), stream(1, 1, 2), stream(2, 1)},
 			[]uint64{1, 1, 1, 2, 2}, []int{0, 1, 2, 0, 1}},
 		{"with empty stream between",
-			[][]Event{{ev(4, 0)}, nil, {ev(2, 2), ev(4, 2)}},
+			[]chunkStream{stream(0, 4), {run: 1}, stream(2, 2, 4)},
 			[]uint64{2, 4, 4}, []int{2, 0, 2}},
 	}
 	for _, tc := range cases {
 		total := 0
 		for _, s := range tc.streams {
-			total += len(s)
+			total += len(s.recs)
 		}
-		got, err := mergeStreams(context.Background(), tc.streams, total)
-		if err != nil {
+		b := colstore.NewBuilder(total, 0)
+		if err := mergeStreams(context.Background(), b, tc.streams, total); err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
-		if len(got) != len(tc.want) {
-			t.Fatalf("%s: got %d events, want %d", tc.name, len(got), len(tc.want))
+		got := b.Done()
+		if got.Len() != len(tc.want) {
+			t.Fatalf("%s: got %d events, want %d", tc.name, got.Len(), len(tc.want))
 		}
-		for i := range got {
-			if got[i].Global != tc.want[i] || got[i].Run != tc.runs[i] {
+		for i := 0; i < got.Len(); i++ {
+			if got.Global[i] != tc.want[i] || int(got.Run[i]) != tc.runs[i] {
 				t.Fatalf("%s: event %d = (t=%d, stream=%d), want (t=%d, stream=%d)",
-					tc.name, i, got[i].Global, got[i].Run, tc.want[i], tc.runs[i])
+					tc.name, i, got.Global[i], got.Run[i], tc.want[i], tc.runs[i])
 			}
 		}
 	}
@@ -260,11 +265,12 @@ func TestMergeStreams(t *testing.T) {
 // TestManualTraceFallback checks that hand-assembled Trace values (no
 // precomputed indexes) still answer CoreEvents/RunEvents by scanning.
 func TestManualTraceFallback(t *testing.T) {
-	tr := &Trace{Events: []Event{
+	tr := &Trace{}
+	tr.SetEvents([]Event{
 		{Record: event.Record{Core: 2}, Run: 0, Global: 1, Seq: 0},
 		{Record: event.Record{Core: event.CorePPE}, Run: -1, Global: 2, Seq: 1},
 		{Record: event.Record{Core: 2}, Run: 0, Global: 3, Seq: 2},
-	}}
+	})
 	if n := len(tr.CoreEvents(2)); n != 2 {
 		t.Fatalf("CoreEvents(2) = %d events, want 2", n)
 	}

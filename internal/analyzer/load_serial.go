@@ -4,19 +4,24 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/celltrace/pdt/internal/analyzer/colstore"
 	"github.com/celltrace/pdt/internal/core/event"
 	"github.com/celltrace/pdt/internal/core/traceio"
 )
 
 // FromFileSerial is the single-threaded reference load path: decode the
-// chunks one after another into a single slice and establish the global
-// order with one stable sort, exactly as the analyzer did before the
-// parallel pipeline existed. It defines the ordering contract FromFile
-// must reproduce (ascending Global, ties in file order), is what the
-// equivalence tests compare against, and is the baseline
-// BenchmarkLoadLargeTrace measures the pipeline's speedup over.
+// chunks one after another into a single record-shaped slice and
+// establish the global order with one stable sort, exactly as the
+// analyzer did before the parallel pipeline existed. It defines the
+// ordering contract FromFile must reproduce (ascending Global, ties in
+// file order), is what the equivalence tests compare against, and is the
+// baseline BenchmarkLoadLargeTrace measures the pipeline's speedup over.
+// Only after the order is fixed are the events transposed into the
+// columnar store.
 func FromFileSerial(f *traceio.File) (*Trace, error) {
 	tr := newTrace(f)
+	var events []Event
+	argWords := 0
 	for _, c := range f.Chunks {
 		recs, trunc, err := traceio.DecodeChunk(c)
 		if err != nil {
@@ -52,16 +57,18 @@ func FromFileSerial(f *traceio.File) (*Trace, error) {
 			if rec.ID == event.StringDef && len(rec.Args) == 1 {
 				tr.Strings[rec.Args[0]] = rec.Str
 			}
-			tr.Events = append(tr.Events, ev)
+			argWords += len(rec.Args)
+			events = append(events, ev)
 		}
 	}
-	sort.SliceStable(tr.Events, func(i, j int) bool {
-		return tr.Events[i].Global < tr.Events[j].Global
+	sort.SliceStable(events, func(i, j int) bool {
+		return events[i].Global < events[j].Global
 	})
-	for i := range tr.Events {
-		tr.Events[i].Seq = i
+	b := colstore.NewBuilder(len(events), argWords)
+	for i := range events {
+		ev := &events[i]
+		b.Append(&ev.Record, ev.Global, int32(ev.Run))
 	}
-	tr.buildIndexes()
-	tr.Confidence = computeConfidence(tr, nil)
+	tr.finish(b)
 	return tr, nil
 }

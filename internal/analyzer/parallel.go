@@ -63,34 +63,58 @@ func runParallel(workers, n int, task func(i int)) {
 // workers <= 0), panics re-raised on the caller.
 func RunParallel(workers, n int, task func(i int)) { runParallel(workers, n, task) }
 
+// parallelThreshold is the event count below which the sharded kernels
+// run their serial variants instead of fanning out: at the benchmark's
+// -short size (~16k events) pool startup and shard merging cost more
+// than the whole serial scan, while at ~10x that the parallel variants
+// win by integer factors. The crossover was measured with
+// BenchmarkProfileLargeTrace, the kernel with the cheapest per-event
+// work and therefore the worst parallel overhead ratio.
+const parallelThreshold = 1 << 15
+
+// ParallelThreshold exposes the adaptive-parallelism cutoff to sibling
+// analysis packages (analyzer/diff gates its sharded scans on it).
+func ParallelThreshold() int { return parallelThreshold }
+
+// parallelWorthwhile reports whether fanning a kernel out over a worker
+// pool can pay for itself: the trace must be past the measured size
+// threshold AND the host must actually have more than one processor —
+// on a single P the pool serializes anyway, so channel and shard-merge
+// overhead is pure loss.
+func (tr *Trace) parallelWorthwhile() bool {
+	return runtime.GOMAXPROCS(0) > 1 && tr.NumEvents() >= parallelThreshold
+}
+
 // Cores returns the distinct core ids present in the trace, ascending.
-// On pipeline-loaded traces this reads the precomputed index; on
-// hand-assembled traces it scans the stream.
 func (tr *Trace) Cores() []uint8 {
-	var out []uint8
-	if tr.coreIndex != nil {
-		out = make([]uint8, 0, len(tr.coreIndex))
-		for c := range tr.coreIndex {
-			out = append(out, c)
-		}
-	} else {
-		var seen [256]bool
-		for i := range tr.Events {
-			c := tr.Events[i].Core
-			if !seen[c] {
-				seen[c] = true
-				out = append(out, c)
-			}
-		}
+	out := make([]uint8, 0, len(tr.coreSeq))
+	for c := range tr.coreSeq {
+		out = append(out, c)
 	}
 	slices.Sort(out)
 	return out
 }
 
-// Footprint estimates the resident size of the loaded trace in bytes:
-// the merged event stream plus its per-core/per-run index copies, at the
-// same per-record budget the decode admission control charges. The trace
-// cache uses it as the entry weight for its byte bound.
+// Footprint reports the resident size of the loaded trace in bytes: the
+// exact columnar store size (fixed-width columns, argument arena,
+// interned strings) plus the per-core/per-run index arenas and a small
+// constant for the surrounding structures. The trace cache uses it as
+// the entry weight for its byte bound.
 func (tr *Trace) Footprint() int64 {
-	return int64(len(tr.Events))*eventFootprint + 4096
+	n := int64(4096)
+	if tr.col != nil {
+		n += tr.col.Bytes()
+	}
+	// Index arenas: 4 bytes per entry; every event appears once in the
+	// core index and SPE events once more in the run index.
+	for _, seqs := range tr.coreSeq {
+		n += int64(len(seqs)) * 4
+	}
+	for _, seqs := range tr.runSeq {
+		n += int64(len(seqs)) * 4
+	}
+	for _, s := range tr.Strings {
+		n += 8 + 16 + int64(len(s))
+	}
+	return n
 }

@@ -28,7 +28,8 @@ type PPEStats struct {
 func SummarizePPE(tr *Trace) PPEStats {
 	var st PPEStats
 	var enter = map[event.ID]uint64{} // open Enter timestamps by enter ID
-	for _, e := range tr.Events {
+	for i, n := 0, tr.NumEvents(); i < n; i++ {
+		e := tr.Event(i)
 		if e.IsSPE() {
 			continue
 		}

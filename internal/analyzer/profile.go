@@ -22,19 +22,40 @@ type PairProfile struct {
 	Confidence float64
 }
 
+// kindOf and pairOf are flat arrays indexed by event ID, replacing the
+// metadata map lookup in the pair-matching hot loops: unknown ids keep
+// the zero Kind (a point event) and are ignored, exactly like a failed
+// Lookup.
+var (
+	kindOf []event.Kind
+	pairOf []event.ID
+)
+
+func init() {
+	n := int(event.NumIDs())
+	kindOf = make([]event.Kind, n)
+	pairOf = make([]event.ID, n)
+	for id := event.ID(1); id < event.NumIDs(); id++ {
+		if info, ok := event.Lookup(id); ok {
+			kindOf[id] = info.Kind
+			pairOf[id] = info.Pair
+		}
+	}
+}
+
 // Profile computes per-pair interval statistics over the whole trace.
 // Pairs are matched per core in stream order; unmatched enters (truncated
 // traces) are dropped.
 //
-// Matching is independent per core, so on pipeline-loaded traces the
-// per-core streams are profiled concurrently and the per-core
-// accumulators merged (count and histogram sums are commutative, the
-// confidence is a min), which produces exactly the result of
-// ProfileSerial's single scan. Hand-assembled traces without the core
-// index fall back to the serial scan.
+// Matching is independent per core, so past the adaptive-parallelism
+// threshold the per-core index blocks are profiled concurrently over the
+// columnar store and the per-core accumulators merged (count and
+// histogram sums are commutative, the confidence is a min), which
+// produces exactly the result of ProfileSerial's single scan. Smaller
+// traces take the serial scan, which beats pool startup at those sizes.
 func Profile(tr *Trace) []PairProfile {
 	cores := tr.Cores()
-	if tr.coreIndex == nil || len(cores) < 2 {
+	if !tr.parallelWorthwhile() || len(cores) < 2 {
 		return ProfileSerial(tr)
 	}
 	parts := make([]map[event.ID]*PairProfile, len(cores))
@@ -61,41 +82,49 @@ func Profile(tr *Trace) []PairProfile {
 }
 
 // ProfileSerial is the single-scan reference implementation Profile's
-// sharded version is tested against.
+// sharded version is tested against. It walks the ID and Global columns
+// only; open enters live in per-core flat arrays indexed by event id
+// (start+1, so 0 means "not open") instead of nested maps.
 func ProfileSerial(tr *Trace) []PairProfile {
-	open := map[uint8]map[event.ID]uint64{} // core -> enterID -> start
 	acc := map[event.ID]*PairProfile{}
-	for _, e := range tr.Events {
-		info, ok := event.Lookup(e.ID)
-		if !ok {
+	if tr.col == nil {
+		return sortProfiles(acc)
+	}
+	s := tr.col
+	var open [256][]uint64 // core -> enterID -> start+1
+	for i, id := range s.ID {
+		if int(id) >= len(kindOf) {
 			continue
 		}
-		switch info.Kind {
+		switch kindOf[id] {
 		case event.KindEnter:
-			m := open[e.Core]
+			core := s.Core[i]
+			m := open[core]
 			if m == nil {
-				m = map[event.ID]uint64{}
-				open[e.Core] = m
+				m = make([]uint64, len(kindOf))
+				open[core] = m
 			}
-			m[e.ID] = e.Global
+			m[id] = s.Global[i] + 1
 		case event.KindExit:
-			m := open[e.Core]
+			core := s.Core[i]
+			m := open[core]
 			if m == nil {
 				break
 			}
-			start, ok := m[info.Pair]
-			if !ok {
+			pair := pairOf[id]
+			start := m[pair]
+			if start == 0 {
 				break
 			}
-			delete(m, info.Pair)
-			p := acc[info.Pair]
+			m[pair] = 0
+			p := acc[pair]
 			if p == nil {
-				p = &PairProfile{Enter: info.Pair, Confidence: 1}
-				acc[info.Pair] = p
+				p = &PairProfile{Enter: pair, Confidence: 1}
+				acc[pair] = p
 			}
 			p.Count++
-			p.Ticks.Add(e.Global - start)
-			if c := tr.Confidence.ForCore(e.Core); c < p.Confidence {
+			p.Ticks.Add(s.Global[i] - (start - 1))
+			if c := tr.Confidence.ForCore(core); c < p.Confidence {
 				p.Confidence = c
 			}
 		}
@@ -104,36 +133,37 @@ func ProfileSerial(tr *Trace) []PairProfile {
 }
 
 // profileCore matches Enter/Exit pairs over one core's stream-ordered
-// event view. The core's record-survival fraction is constant, so the
-// per-pair confidence is simply the min across contributing cores at
-// merge time.
+// index block of the columnar store. The core's record-survival fraction
+// is constant, so the per-pair confidence is simply the min across
+// contributing cores at merge time.
 func profileCore(tr *Trace, core uint8) map[event.ID]*PairProfile {
-	evs := tr.coreIndex[core]
-	open := map[event.ID]uint64{}
+	s := tr.col
+	seqs := tr.coreSeq[core]
+	open := make([]uint64, len(kindOf)) // enterID -> start+1; 0 = not open
 	acc := map[event.ID]*PairProfile{}
 	conf := tr.Confidence.ForCore(core)
-	for i := range evs {
-		e := &evs[i]
-		info, ok := event.Lookup(e.ID)
-		if !ok {
+	for _, seq := range seqs {
+		id := s.ID[seq]
+		if int(id) >= len(kindOf) {
 			continue
 		}
-		switch info.Kind {
+		switch kindOf[id] {
 		case event.KindEnter:
-			open[e.ID] = e.Global
+			open[id] = s.Global[seq] + 1
 		case event.KindExit:
-			start, ok := open[info.Pair]
-			if !ok {
+			pair := pairOf[id]
+			start := open[pair]
+			if start == 0 {
 				break
 			}
-			delete(open, info.Pair)
-			p := acc[info.Pair]
+			open[pair] = 0
+			p := acc[pair]
 			if p == nil {
-				p = &PairProfile{Enter: info.Pair, Confidence: 1}
-				acc[info.Pair] = p
+				p = &PairProfile{Enter: pair, Confidence: 1}
+				acc[pair] = p
 			}
 			p.Count++
-			p.Ticks.Add(e.Global - start)
+			p.Ticks.Add(s.Global[seq] - (start - 1))
 			if conf < p.Confidence {
 				p.Confidence = conf
 			}

@@ -95,9 +95,10 @@ func TestWriteIntervalsCSV(t *testing.T) {
 
 func TestProfileTruncatedUnmatchedEnter(t *testing.T) {
 	// An enter without exit must not produce a pair (and not panic).
-	tr := &Trace{Events: []Event{
+	tr := &Trace{}
+	tr.SetEvents([]Event{
 		{Record: event.Record{ID: event.SPEWaitTagEnter, Core: 0, Args: []uint64{1}}, Global: 10},
-	}}
+	})
 	if p := Profile(tr); len(p) != 0 {
 		t.Fatalf("profile = %+v", p)
 	}

@@ -69,9 +69,10 @@ func (f *Filter) Match(e *Event) bool {
 // Select returns the events passing the filter, in stream order.
 func (tr *Trace) Select(f Filter) []Event {
 	var out []Event
-	for i := range tr.Events {
-		if f.Match(&tr.Events[i]) {
-			out = append(out, tr.Events[i])
+	for i, n := 0, tr.NumEvents(); i < n; i++ {
+		e := tr.Event(i)
+		if f.Match(&e) {
+			out = append(out, e)
 		}
 	}
 	return out
@@ -165,15 +166,15 @@ func BandwidthSeries(tr *Trace, n int) []BWPoint {
 	for i := range out {
 		out[i].StartTick = start + uint64(i)*span/uint64(n)
 	}
-	for i := range tr.Events {
-		e := &tr.Events[i]
-		switch e.ID {
+	s := tr.col
+	for i, id := range s.ID {
+		switch id {
 		case event.SPEMFCGet, event.SPEMFCPut, event.SPEMFCGetList, event.SPEMFCPutList:
-			b := int((e.Global - start) * uint64(n) / span)
+			b := int((s.Global[i] - start) * uint64(n) / span)
 			if b >= n {
 				b = n - 1
 			}
-			out[b].Bytes += e.Args[2]
+			out[b].Bytes += s.Args[s.ArgOff[i]+2]
 		}
 	}
 	return out

@@ -75,8 +75,8 @@ func TestFilterByTimeRange(t *testing.T) {
 	first := tr.Select(f)
 	f.From, f.To = mid, 0
 	second := tr.Select(f)
-	if len(first)+len(second) != len(tr.Events) {
-		t.Fatalf("split %d + %d != %d", len(first), len(second), len(tr.Events))
+	if len(first)+len(second) != tr.NumEvents() {
+		t.Fatalf("split %d + %d != %d", len(first), len(second), tr.NumEvents())
 	}
 	for _, e := range first {
 		if e.Global >= mid {

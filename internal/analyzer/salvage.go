@@ -54,11 +54,16 @@ func (c Confidence) Degraded() bool {
 // and skipped bytes are converted to an estimated record count using the
 // mean size of the records that did survive.
 func computeConfidence(tr *Trace, rep *traceio.SalvageReport) Confidence {
-	got := map[uint8]float64{}
-	for i := range tr.Events {
-		got[tr.Events[i].Core]++
+	// Per-core counts in a flat array: this scan runs on every load (it
+	// is part of Trace.finish), and a map increment per event is several
+	// times the cost of the whole column walk.
+	var got [256]int
+	if s := tr.col; s != nil {
+		for _, c := range s.Core {
+			got[c]++
+		}
 	}
-	total := float64(len(tr.Events))
+	total := float64(tr.NumEvents())
 
 	lost := map[uint8]float64{}
 	var lostTotal float64
@@ -89,14 +94,18 @@ func computeConfidence(tr *Trace, rep *traceio.SalvageReport) Confidence {
 	if total+lostTotal > 0 {
 		c.Overall = total / (total + lostTotal)
 	}
-	for core, n := range got {
-		c.PerCore[core] = 1
-		if l := lost[core]; l > 0 {
-			c.PerCore[core] = n / (n + l)
+	for core := 0; core < 256; core++ {
+		n := float64(got[core])
+		if n == 0 {
+			continue
+		}
+		c.PerCore[uint8(core)] = 1
+		if l := lost[uint8(core)]; l > 0 {
+			c.PerCore[uint8(core)] = n / (n + l)
 		}
 	}
 	for core, l := range lost {
-		if _, ok := got[core]; !ok && l > 0 {
+		if got[core] == 0 && l > 0 {
 			c.PerCore[core] = 0 // everything this core produced is gone
 		}
 	}

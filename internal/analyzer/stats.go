@@ -127,13 +127,15 @@ func Summarize(tr *Trace) *Summary {
 	s := &Summary{
 		Workload:   tr.Meta.Workload,
 		EventCount: map[event.ID]int{},
-		TotalRecs:  len(tr.Events),
+		TotalRecs:  tr.NumEvents(),
 	}
 	start, end := tr.Span()
 	s.WallTicks = end - start
 
-	for _, e := range tr.Events {
-		s.EventCount[e.ID]++
+	if c := tr.Columns(); c != nil {
+		for _, id := range c.ID {
+			s.EventCount[id]++
+		}
 	}
 
 	for run, anchor := range tr.Meta.Anchors {
@@ -235,13 +237,16 @@ type TagStats struct {
 // TagBreakdown computes per-tag DMA statistics over all SPE runs.
 func TagBreakdown(tr *Trace) []TagStats {
 	var agg [32]TagStats
-	for _, e := range tr.Events {
-		switch e.ID {
-		case event.SPEMFCGet, event.SPEMFCPut, event.SPEMFCGetList, event.SPEMFCPutList:
-			tag := int(e.Args[3] % 32)
-			agg[tag].Tag = tag
-			agg[tag].Cmds++
-			agg[tag].Bytes += e.Args[2]
+	if s := tr.col; s != nil {
+		for i, id := range s.ID {
+			switch id {
+			case event.SPEMFCGet, event.SPEMFCPut, event.SPEMFCGetList, event.SPEMFCPutList:
+				args := s.Args[s.ArgOff[i]:]
+				tag := int(args[3] % 32)
+				agg[tag].Tag = tag
+				agg[tag].Cmds++
+				agg[tag].Bytes += args[2]
+			}
 		}
 	}
 	var out []TagStats

@@ -29,7 +29,8 @@ func Validate(tr *Trace) []Issue {
 	runEnded := map[int]bool{}
 	var spuOutWrites, ppeOutReads, ppeInWrites, spuInReads int
 
-	for _, e := range tr.Events {
+	for i, n := 0, tr.NumEvents(); i < n; i++ {
+		e := tr.Event(i)
 		info, ok := event.Lookup(e.ID)
 		if !ok {
 			report("error", "unknown event id %d at seq %d", e.ID, e.Seq)

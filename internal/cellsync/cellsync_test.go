@@ -252,7 +252,7 @@ func TestSyncEventsAppearInTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	counts := map[event.ID]int{}
-	for _, e := range tr.Events {
+	for _, e := range tr.Events() {
 		counts[e.ID]++
 	}
 	if counts[event.SyncBarrierEnter] != 2 || counts[event.SyncBarrierExit] != 2 {

@@ -104,56 +104,125 @@ var ErrShortRecord = errors.New("event: truncated record")
 
 // Decode parses the first record in buf.
 func Decode(buf []byte) (Record, int, error) {
+	r, n, _, err := DecodeInto(buf, nil)
+	return r, n, err
+}
+
+// ScanChunk walks the record framing of one chunk — size bytes and
+// zero-padding runs only, no field decoding — and returns an upper bound
+// on the records and argument words a full decode of the same bytes can
+// produce. Bulk decoders size their record slice and argument arena from
+// it instead of assuming every record is MinRecordSize, which
+// over-allocates several-fold on arg-heavy streams.
+//
+// The bound is safe against hostile input: the scan stops at the first
+// record the decoder would reject for framing (size below the header or
+// past the buffer), and the word count covers every byte the scanned
+// records own beyond their headers — at least the argument words
+// DecodeInto can accept per record (it rejects args overflowing the
+// record's declared size before appending any). The decoder therefore
+// never appends more words than ScanChunk counted, so an arena sized
+// from it cannot regrow while earlier records alias its backing array.
+func ScanChunk(data []byte) (records, argWords int) {
+	bytes := 0 // record bytes walked, headers included
+	for len(data) > 0 {
+		if data[0] == 0 {
+			// DMA-alignment padding between buffer flushes.
+			n := 1
+			for n < len(data) && data[n] == 0 {
+				n++
+			}
+			data = data[n:]
+			continue
+		}
+		size := int(data[0])
+		if size < headerSize || size > len(data) {
+			break
+		}
+		records++
+		bytes += size
+		data = data[size:]
+	}
+	return records, (bytes - records*headerSize) / 8
+}
+
+// DecodeInto parses the first record in buf like Decode, but appends any
+// arguments to arena instead of allocating a fresh slice per record; the
+// returned record's Args aliases the appended tail of the returned arena.
+// Bulk decoders size the arena's capacity up front (a chunk of n data
+// bytes can never hold more than n/8 argument words) so growth cannot
+// reallocate while earlier records' Args still alias the backing array.
+// Zero-argument records keep Args nil, matching Decode.
+func DecodeInto(buf []byte, arena []uint64) (Record, int, []uint64, error) {
+	var r Record
+	n, arena, err := DecodeNext(&r, buf, arena)
+	return r, n, arena, err
+}
+
+// DecodeNext is DecodeInto writing the record into *dst instead of
+// returning it by value: bulk decoders point dst at the next slot of
+// their preallocated record slice, skipping two 64-byte struct copies
+// per record (the return and the append). On error *dst is not written.
+func DecodeNext(dst *Record, buf []byte, arena []uint64) (int, []uint64, error) {
 	if len(buf) < 1 {
-		return Record{}, 0, ErrShortRecord
+		return 0, arena, ErrShortRecord
 	}
 	size := int(buf[0])
 	if size < headerSize {
-		return Record{}, 0, fmt.Errorf("event: record size %d below header size", size)
+		return 0, arena, fmt.Errorf("event: record size %d below header size", size)
 	}
 	if len(buf) < size {
-		return Record{}, 0, ErrShortRecord
+		return 0, arena, ErrShortRecord
 	}
-	var r Record
-	r.ID = ID(binary.LittleEndian.Uint16(buf[1:3]))
-	r.Core = buf[3]
-	r.Flags = buf[4]
-	r.Time = binary.LittleEndian.Uint64(buf[5:13])
+	id := ID(binary.LittleEndian.Uint16(buf[1:3]))
 	nargs := int(buf[13])
-	info, ok := Lookup(r.ID)
-	if !ok {
-		return Record{}, 0, fmt.Errorf("event: unknown event ID %d", r.ID)
+	// Metadata via pointer, not Lookup: copying the Info struct per
+	// record is measurable in bulk decode, and only the arity and (on
+	// the error paths) the name are needed.
+	if id == idInvalid || id >= maxID {
+		return 0, arena, fmt.Errorf("event: unknown event ID %d", id)
 	}
+	info := &table[id]
 	if nargs != len(info.Args) {
-		return Record{}, 0, fmt.Errorf("event: %s has %d args, expected %d", info.Name, nargs, len(info.Args))
+		return 0, arena, fmt.Errorf("event: %s has %d args, expected %d", info.Name, nargs, len(info.Args))
 	}
 	off := headerSize
 	if off+8*nargs > size {
-		return Record{}, 0, fmt.Errorf("event: %s args overflow record size", info.Name)
+		return 0, arena, fmt.Errorf("event: %s args overflow record size", info.Name)
 	}
+	flags := buf[4]
+	var args []uint64
 	if nargs > 0 {
-		r.Args = make([]uint64, nargs)
-		for i := range r.Args {
-			r.Args[i] = binary.LittleEndian.Uint64(buf[off : off+8])
+		start := len(arena)
+		for i := 0; i < nargs; i++ {
+			arena = append(arena, binary.LittleEndian.Uint64(buf[off:off+8]))
 			off += 8
 		}
+		args = arena[start:len(arena):len(arena)]
 	}
-	if r.Flags&FlagHasStr != 0 {
+	var str string
+	if flags&FlagHasStr != 0 {
 		if off+2 > size {
-			return Record{}, 0, fmt.Errorf("event: %s string length overflows record", info.Name)
+			return 0, arena, fmt.Errorf("event: %s string length overflows record", info.Name)
 		}
 		n := int(binary.LittleEndian.Uint16(buf[off : off+2]))
 		off += 2
 		if off+n != size {
-			return Record{}, 0, fmt.Errorf("event: %s string payload inconsistent with record size", info.Name)
+			return 0, arena, fmt.Errorf("event: %s string payload inconsistent with record size", info.Name)
 		}
-		r.Str = string(buf[off : off+n])
+		str = string(buf[off : off+n])
 		off += n
 	}
 	if off != size {
-		return Record{}, 0, fmt.Errorf("event: %s trailing bytes in record", info.Name)
+		return 0, arena, fmt.Errorf("event: %s trailing bytes in record", info.Name)
 	}
-	return r, size, nil
+	dst.ID = id
+	dst.Core = buf[3]
+	dst.Flags = flags
+	dst.Time = binary.LittleEndian.Uint64(buf[5:13])
+	dst.Args = args
+	dst.Str = str
+	return size, arena, nil
 }
 
 // Arg returns the value of the named argument, looked up through the

@@ -1,0 +1,62 @@
+package traceio
+
+import "os"
+
+// MappedFile is a read-only byte view of a trace file, memory-mapped when
+// the platform supports it and read into the heap otherwise. Both cases
+// present the same interface: Data returns the full contents, Close
+// releases them. ParseContext slices chunk data out of the buffer without
+// copying, so on the mmap path record decoding reads straight out of the
+// page cache — the load pipeline copies what it keeps into its column
+// arenas before Close unmaps the region.
+type MappedFile struct {
+	data   []byte
+	mapped bool // true when data must be munmap'ed, not just dropped
+}
+
+// Data returns the file contents. The slice is only valid until Close.
+func (m *MappedFile) Data() []byte { return m.data }
+
+// Mapped reports whether the contents are memory-mapped rather than
+// heap-allocated (always false on platforms without mmap support).
+func (m *MappedFile) Mapped() bool { return m.mapped }
+
+// Close releases the mapping or the fallback buffer. After Close, any
+// slice derived from Data — including chunk Data from ParseContext — is
+// invalid. Close is idempotent.
+func (m *MappedFile) Close() error {
+	data, mapped := m.data, m.mapped
+	m.data, m.mapped = nil, false
+	if mapped {
+		return unmapData(data)
+	}
+	return nil
+}
+
+// MapFile opens path for zero-copy reading. Empty files yield an empty
+// (unmapped) view, and any mmap failure falls back to a plain read so
+// callers never need a second code path.
+func MapFile(path string) (*MappedFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size > 0 && int64(int(size)) == size {
+		if data, err := mapData(f, int(size)); err == nil {
+			return &MappedFile{data: data, mapped: true}, nil
+		}
+	}
+	// Fallback: empty file, absurd size, unsupported platform, or a
+	// filesystem that refuses mmap. ReadFile keeps the same semantics.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &MappedFile{data: data}, nil
+}

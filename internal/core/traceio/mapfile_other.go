@@ -1,0 +1,17 @@
+//go:build !unix
+
+package traceio
+
+import (
+	"errors"
+	"os"
+)
+
+// mapData always fails on platforms without mmap support; MapFile then
+// takes the plain-read fallback.
+func mapData(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("traceio: mmap unsupported on this platform")
+}
+
+// unmapData is unreachable on non-mmap platforms.
+func unmapData(data []byte) error { return nil }

@@ -1,0 +1,132 @@
+package traceio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// writeTestTrace encodes a minimal valid trace to a temp file.
+func writeTestTrace(t *testing.T) (string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Version: Version, NumSPEs: 1, TimebaseDiv: 1, ClockHz: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMeta(&Meta{Anchors: []Anchor{{SPE: 0, Timebase: 100}}}); err != nil {
+		t.Fatal(err)
+	}
+	recs := []event.Record{
+		{ID: event.SPEProgramStart, Core: 0, Flags: event.FlagDecrTime, Time: 0, Args: []uint64{1}},
+		{ID: event.SPEProgramEnd, Core: 0, Flags: event.FlagDecrTime, Time: 50, Args: []uint64{0}},
+	}
+	var data []byte
+	for _, r := range recs {
+		if data, err = r.AppendTo(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteChunk(Chunk{Core: 0, AnchorIdx: 0, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.pdt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, len(recs)
+}
+
+func TestMapFileParsesLikeRead(t *testing.T) {
+	path, nrec := writeTestTrace(t)
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Data(), raw) {
+		t.Fatal("mapped contents differ from plain read")
+	}
+	f, err := Parse(m.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Chunks) != 1 {
+		t.Fatalf("chunks = %d, want 1", len(f.Chunks))
+	}
+	recs, truncated, err := DecodeChunk(f.Chunks[0])
+	if err != nil || truncated {
+		t.Fatalf("decode: err=%v truncated=%v", err, truncated)
+	}
+	if len(recs) != nrec {
+		t.Fatalf("records = %d, want %d", len(recs), nrec)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if m.Data() != nil {
+		t.Fatal("Data non-nil after Close")
+	}
+}
+
+func TestMapFileEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.pdt")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(m.Data()) != 0 {
+		t.Fatalf("empty file mapped to %d bytes", len(m.Data()))
+	}
+	if m.Mapped() {
+		t.Fatal("empty file reported as mapped")
+	}
+}
+
+func TestMapFileMissing(t *testing.T) {
+	if _, err := MapFile(filepath.Join(t.TempDir(), "nope.pdt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestDecodeChunkSharedArena pins the allocation contract: decoding a
+// chunk must not allocate one Args slice per record.
+func TestDecodeChunkSharedArena(t *testing.T) {
+	var data []byte
+	var err error
+	for i := 0; i < 64; i++ {
+		r := event.Record{ID: event.SPEMFCGet, Core: 0, Flags: event.FlagDecrTime,
+			Time: uint64(i), Args: []uint64{uint64(i), 0x1000, 128, 3}}
+		if data, err = r.AppendTo(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := Chunk{Core: 0, Data: data}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := DecodeChunk(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One records slice + one argument arena (plus test-harness noise
+	// headroom); the old per-record make([]uint64) cost 64 allocations.
+	if allocs > 8 {
+		t.Fatalf("DecodeChunk allocations = %.0f, want <= 8", allocs)
+	}
+}

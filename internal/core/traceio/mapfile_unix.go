@@ -1,0 +1,18 @@
+//go:build unix
+
+package traceio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapData memory-maps size bytes of f read-only.
+func mapData(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+// unmapData releases a mapping created by mapData.
+func unmapData(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -372,14 +372,21 @@ func DecodeChunk(c Chunk) (recs []event.Record, truncated bool, err error) {
 // beyond min(declared, remaining) bytes of real input.
 func DecodeChunkContext(ctx context.Context, c Chunk, lim Limits) (recs []event.Record, truncated bool, err error) {
 	data := c.Data
-	est := len(data) / event.MinRecordSize
+	// Pre-scan the framing for the exact record and argument-word counts
+	// (an upper bound under corruption, see event.ScanChunk), so decoding
+	// never regrows either slice: one record slice zeroed to its real
+	// size instead of a len/MinRecordSize guess, and one shared argument
+	// arena for the whole chunk so records do not allocate individually.
+	// The arena never reallocating is a correctness requirement, not a
+	// speed win — every decoded record's Args aliases it.
+	est, words := event.ScanChunk(data)
 	if lim.MaxRecords > 0 && est > lim.MaxRecords {
 		est = lim.MaxRecords + 1 // room for the record that trips the cap
 	}
+	var arena []uint64
 	if est > 0 {
-		// Preallocate from the record-count upper bound so decoding a
-		// chunk never regrows the slice.
 		recs = make([]event.Record, 0, est)
+		arena = make([]uint64, 0, words)
 	}
 	for len(data) > 0 {
 		if err := checkEvery(ctx, len(recs)); err != nil {
@@ -395,14 +402,24 @@ func DecodeChunkContext(ctx context.Context, c Chunk, lim Limits) (recs []event.
 			data = data[n:]
 			continue
 		}
-		r, n, derr := event.Decode(data)
+		// Decode straight into the next slot of the pre-sized slice; the
+		// append branch only runs if the pre-scan bound was ever wrong
+		// (it cannot be — see event.ScanChunk — but growth is safer than
+		// an out-of-range write).
+		if len(recs) < cap(recs) {
+			recs = recs[:len(recs)+1]
+		} else {
+			recs = append(recs, event.Record{})
+		}
+		n, nextArena, derr := event.DecodeNext(&recs[len(recs)-1], data, arena)
+		arena = nextArena
 		if derr != nil {
+			recs = recs[:len(recs)-1]
 			if errors.Is(derr, event.ErrShortRecord) {
 				return recs, true, nil
 			}
 			return recs, false, fmt.Errorf("traceio: core %d: %w", c.Core, derr)
 		}
-		recs = append(recs, r)
 		if lim.MaxRecords > 0 && len(recs) > lim.MaxRecords {
 			return recs, false, limitErr(fmt.Sprintf("core %d record count", c.Core),
 				int64(len(recs)), int64(lim.MaxRecords))

@@ -72,7 +72,7 @@ func runE14(w io.Writer, quick bool) error {
 			if i == 0 {
 				base = tr
 				fmt.Fprintf(tw, "%s\t%s\t(baseline: %d records, %d ticks)\t\t\t\t\t\t\n",
-					wl.Name, lvl.Name, len(tr.Events), wallTicks(tr))
+					wl.Name, lvl.Name, tr.NumEvents(), wallTicks(tr))
 				continue
 			}
 			rep, err := diff.Diff(base, tr, diff.Options{})

@@ -31,7 +31,7 @@ func eventKey(e analyzer.Event) string {
 // perCoreKeys groups the trace's record keys by core, in stream order.
 func perCoreKeys(tr *analyzer.Trace) map[uint8][]string {
 	out := map[uint8][]string{}
-	for _, e := range tr.Events {
+	for _, e := range tr.Events() {
 		out[e.Core] = append(out[e.Core], eventKey(e))
 	}
 	return out
@@ -142,7 +142,7 @@ func TestFlushStallBackpressure(t *testing.T) {
 	if errs := analyzer.Errors(analyzer.Validate(stalled.Trace)); len(errs) != 0 {
 		t.Fatalf("validation errors under stalls: %v", errs)
 	}
-	if len(stalled.Trace.Events) == 0 {
+	if stalled.Trace.NumEvents() == 0 {
 		t.Fatal("empty trace under stalls")
 	}
 }

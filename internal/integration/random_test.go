@@ -193,7 +193,7 @@ func TestRandomProgramsTracedSemanticsUnchanged(t *testing.T) {
 				t.Fatalf("seed %d: tracing changed SPE %d data", seed, i)
 			}
 		}
-		if tr == nil || len(tr.Events) == 0 {
+		if tr == nil || tr.NumEvents() == 0 {
 			t.Fatalf("seed %d: empty trace", seed)
 		}
 	}
@@ -207,7 +207,7 @@ func TestRandomProgramsTraceInvariants(t *testing.T) {
 		}
 		// Record accounting: expected app records + 2 lifecycle per run.
 		app := 0
-		for _, e := range tr.Events {
+		for _, e := range tr.Events() {
 			if !e.IsSPE() {
 				continue
 			}

@@ -1,8 +1,9 @@
-// benchcheck is the benchmark regression gate: it runs the four
-// committed reference benchmarks (trace load, interval profile,
-// critical path, end-to-end TAD summary), parses the ns/op figures, and
-// compares them against BENCH_baseline.json. A result more than
-// -tolerance slower than its baseline entry fails the run; a package
+// benchcheck is the benchmark regression gate: it runs the committed
+// reference benchmarks (trace load, interval profile, critical path,
+// gap hunting, trace differencing, end-to-end TAD summary) with
+// -benchmem, parses the ns/op, B/op and allocs/op figures, and compares
+// all three against BENCH_baseline.json. A result more than -tolerance
+// worse than its baseline entry on any metric fails the run; a package
 // that regresses is re-run once first, so a single noisy scheduling
 // hiccup does not fail CI. `-update` rewrites the baseline from a fresh
 // run instead of comparing.
@@ -30,35 +31,45 @@ type suite struct {
 	bench string // -bench regexp
 }
 
-// suites are the committed reference benchmarks. BenchmarkLoadLargeTrace,
-// BenchmarkProfileLargeTrace and BenchmarkCritPathLargeTrace live in the
-// repo-root package; BenchmarkTADSummary is the service's end-to-end
-// request path.
+// suites are the committed reference benchmarks. The LargeTrace family
+// lives in the repo-root package; BenchmarkTADSummary is the service's
+// end-to-end request path.
 var suites = []suite{
-	{".", "^(BenchmarkLoadLargeTrace|BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace)$"},
+	{".", "^(BenchmarkLoadLargeTrace|BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace|BenchmarkGapsLargeTrace|BenchmarkDiffLargeTrace)$"},
 	{"./cmd/pdt-tad", "^BenchmarkTADSummary$"},
+}
+
+// metrics is one benchmark's measured figures. BOp/AllocsOp are -1 when
+// the benchmark did not report allocations (no b.ReportAllocs call);
+// such entries gate on time only.
+type metrics struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
 }
 
 // baseline is the committed shape of BENCH_baseline.json.
 type baseline struct {
-	// Tolerance is the allowed fractional slowdown before failing
-	// (0.25 = fail past +25%); -tolerance overrides when set.
+	// Tolerance is the allowed fractional regression on any metric
+	// before failing (0.25 = fail past +25%); -tolerance overrides
+	// when set.
 	Tolerance float64 `json:"tolerance"`
 	// Short and Full map benchmark name (without the Benchmark prefix
-	// or the -GOMAXPROCS suffix) to ns/op.
-	Short map[string]float64 `json:"short"`
-	Full  map[string]float64 `json:"full"`
+	// or the -GOMAXPROCS suffix) to its measured metrics.
+	Short map[string]metrics `json:"short"`
+	Full  map[string]metrics `json:"full"`
 }
 
-// benchLine matches one `go test -bench` result line, e.g.
-// "BenchmarkLoadLargeTrace/parallel-8   5   1234567 ns/op   12 MB/s".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+// "BenchmarkLoadLargeTrace/parallel-8  5  1234567 ns/op  12 MB/s  345 B/op  6 allocs/op".
+// The MB/s column is optional, as are the allocation columns.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
-// parseBench extracts name → ns/op from `go test -bench` output. The
+// parseBench extracts name → metrics from `go test -bench` output. The
 // "Benchmark" prefix and the trailing -N GOMAXPROCS suffix are stripped
 // so names stay stable across hosts.
-func parseBench(out string) map[string]float64 {
-	res := make(map[string]float64)
+func parseBench(out string) map[string]metrics {
+	res := make(map[string]metrics)
 	for _, line := range strings.Split(out, "\n") {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
 		if m == nil {
@@ -68,14 +79,23 @@ func parseBench(out string) map[string]float64 {
 		if err != nil {
 			continue
 		}
-		res[strings.TrimPrefix(m[1], "Benchmark")] = ns
+		got := metrics{NsOp: ns, BOp: -1, AllocsOp: -1}
+		if m[4] != "" {
+			if b, err := strconv.ParseFloat(m[4], 64); err == nil {
+				got.BOp = b
+			}
+			if a, err := strconv.ParseFloat(m[5], 64); err == nil {
+				got.AllocsOp = a
+			}
+		}
+		res[strings.TrimPrefix(m[1], "Benchmark")] = got
 	}
 	return res
 }
 
 // runSuite executes one benchmark package and returns its parsed results.
-func runSuite(s suite, short bool, benchtime string) (map[string]float64, error) {
-	args := []string{"test", "-run", "^$", "-bench", s.bench, "-benchtime", benchtime}
+func runSuite(s suite, short bool, benchtime string) (map[string]metrics, error) {
+	args := []string{"test", "-run", "^$", "-bench", s.bench, "-benchmem", "-benchtime", benchtime}
 	if short {
 		args = append(args, "-short")
 	}
@@ -88,9 +108,16 @@ func runSuite(s suite, short bool, benchtime string) (map[string]float64, error)
 	return parseBench(string(out)), nil
 }
 
-// compare reports every entry of got that is slower than base by more
+// worse reports whether got regressed past base by more than tol.
+// Baselines at or below zero gate nothing (unreported metrics are -1;
+// a 0 B/op baseline leaves nothing meaningful to scale by).
+func worse(base, got, tol float64) bool {
+	return base > 0 && got > base*(1+tol)
+}
+
+// compare reports every metric of got that regressed past base by more
 // than tol, and every baseline entry missing from got.
-func compare(base, got map[string]float64, tol float64) []string {
+func compare(base, got map[string]metrics, tol float64) []string {
 	var bad []string
 	names := make([]string, 0, len(base))
 	for name := range base {
@@ -99,14 +126,22 @@ func compare(base, got map[string]float64, tol float64) []string {
 	sort.Strings(names)
 	for _, name := range names {
 		want := base[name]
-		ns, ok := got[name]
+		m, ok := got[name]
 		if !ok {
 			bad = append(bad, fmt.Sprintf("%s: in baseline but not measured (renamed or deleted?)", name))
 			continue
 		}
-		if want > 0 && ns > want*(1+tol) {
+		if worse(want.NsOp, m.NsOp, tol) {
 			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
-				name, ns, want, 100*(ns/want-1), 100*tol))
+				name, m.NsOp, want.NsOp, 100*(m.NsOp/want.NsOp-1), 100*tol))
+		}
+		if worse(want.BOp, m.BOp, tol) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f B/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
+				name, m.BOp, want.BOp, 100*(m.BOp/want.BOp-1), 100*tol))
+		}
+		if worse(want.AllocsOp, m.AllocsOp, tol) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
+				name, m.AllocsOp, want.AllocsOp, 100*(m.AllocsOp/want.AllocsOp-1), 100*tol))
 		}
 	}
 	return bad
@@ -126,7 +161,7 @@ func main() {
 	flag.BoolVar(&o.short, "short", false, "run the -short benchmark sizes and gate on the baseline's short section")
 	flag.BoolVar(&o.update, "update", false, "rewrite the baseline from a fresh run (both sections) instead of comparing")
 	flag.StringVar(&o.baseline, "baseline", "BENCH_baseline.json", "baseline file")
-	flag.Float64Var(&o.tolerance, "tolerance", 0, "allowed fractional slowdown (0 = use the baseline file's tolerance)")
+	flag.Float64Var(&o.tolerance, "tolerance", 0, "allowed fractional regression (0 = use the baseline file's tolerance)")
 	flag.StringVar(&o.benchtime, "benchtime", "10x", "-benchtime per benchmark")
 	flag.Parse()
 	if err := run(o); err != nil {
@@ -136,8 +171,8 @@ func main() {
 }
 
 func run(o options) error {
-	measure := func(shortMode bool) (map[string]float64, error) {
-		all := make(map[string]float64)
+	measure := func(shortMode bool) (map[string]metrics, error) {
+		all := make(map[string]metrics)
 		for _, s := range suites {
 			res, err := runSuite(s, shortMode, o.benchtime)
 			if err != nil {
@@ -209,8 +244,8 @@ func run(o options) error {
 	bad := compare(want, got, tol)
 	if len(bad) > 0 {
 		// One retry: benchmarks share the host with the rest of CI and a
-		// single noisy run should not fail the gate. Keep the faster of
-		// the two runs per benchmark.
+		// single noisy run should not fail the gate. Keep the better of
+		// the two runs per metric.
 		fmt.Printf("possible regression, re-running to damp noise:\n  %s\n",
 			strings.Join(bad, "\n  "))
 		again, err := measure(o.short)
@@ -218,9 +253,21 @@ func run(o options) error {
 			return err
 		}
 		for k, v := range again {
-			if cur, ok := got[k]; !ok || v < cur {
+			cur, ok := got[k]
+			if !ok {
 				got[k] = v
+				continue
 			}
+			if v.NsOp < cur.NsOp {
+				cur.NsOp = v.NsOp
+			}
+			if v.BOp >= 0 && (cur.BOp < 0 || v.BOp < cur.BOp) {
+				cur.BOp = v.BOp
+			}
+			if v.AllocsOp >= 0 && (cur.AllocsOp < 0 || v.AllocsOp < cur.AllocsOp) {
+				cur.AllocsOp = v.AllocsOp
+			}
+			got[k] = cur
 		}
 		bad = compare(want, got, tol)
 	}

@@ -20,7 +20,7 @@ func TestNBodyTracedRingTraffic(t *testing.T) {
 	_, tr := runWorkload(t, "nbody", map[string]string{"n": "128"}, true)
 	counts := map[event.ID]int{}
 	var putBytes uint64
-	for _, e := range tr.Events {
+	for _, e := range tr.Events() {
 		counts[e.ID]++
 		if e.ID == event.SPEMFCPut {
 			putBytes += e.Args[2]

@@ -18,7 +18,7 @@ func TestSortSingleChunk(t *testing.T) {
 func TestSortTraced(t *testing.T) {
 	_, tr := runWorkload(t, "sort", map[string]string{"elements": "16384", "chunk": "2048"}, true)
 	counts := map[event.ID]int{}
-	for _, e := range tr.Events {
+	for _, e := range tr.Events() {
 		counts[e.ID]++
 	}
 	// 8 chunks: one GET and one PUT each.

@@ -27,7 +27,7 @@ func TestStencilFewerRowsThanSPEs(t *testing.T) {
 func TestStencilTracedHaloTraffic(t *testing.T) {
 	_, tr := runWorkload(t, "stencil", map[string]string{"w": "64", "h": "64", "iters": "4"}, true)
 	counts := map[event.ID]int{}
-	for _, e := range tr.Events {
+	for _, e := range tr.Events() {
 		counts[e.ID]++
 	}
 	// 8 SPEs, interior pairs exchange 2 halo rows per iteration: SPE 0
