@@ -8,9 +8,10 @@ GO ?= go
 COVER_BASELINE ?= 84.0
 
 .PHONY: ci fmt vet staticcheck build test race bench bench-analysis bench-analysis-short \
-	bench-check bench-check-short bench-baseline cover cover-check fuzz-smoke fuzz smoke-tad
+	bench-check bench-check-short bench-baseline cover cover-check fuzz-smoke fuzz smoke-tad \
+	chaos-smoke
 
-ci: fmt vet staticcheck build race bench cover-check bench-check-short fuzz-smoke smoke-tad
+ci: fmt vet staticcheck build race bench cover-check bench-check-short fuzz-smoke chaos-smoke smoke-tad
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -91,13 +92,21 @@ cover-check: cover
 # plain tests — fast, deterministic, no fuzzing engine. Covers the
 # salvage fuzzer and the pdt-tad HTTP-handler fuzzer.
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/core/traceio ./cmd/pdt-tad
+	$(GO) test -run 'Fuzz' ./internal/core/traceio ./cmd/pdt-tad ./internal/jobs
 	$(GO) test -run 'FuzzColumnarRoundTrip' ./internal/analyzer
+
+# Service-level chaos drill under the race detector: kill the daemon at
+# every job phase and assert journal replay converges byte-identically
+# (cmd/pdt-tad), plus the disk-fault/corruption sweeps over the durable
+# tier (internal/integration).
+chaos-smoke:
+	$(GO) test -race -run 'TestChaos' ./cmd/pdt-tad ./internal/integration ./internal/jobs
 
 # Actual coverage-guided fuzzing (long; not in ci).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSalvage -fuzztime 60s ./internal/core/traceio
 	$(GO) test -run '^$$' -fuzz FuzzTADHandler -fuzztime 60s ./cmd/pdt-tad
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 60s ./internal/jobs
 
 # End-to-end service smoke test: builds the real pdt-tad binary, starts
 # it, and checks the operator contract — 200 on the golden trace, 413

@@ -1,0 +1,325 @@
+package main
+
+// The async job API. POST /v1/jobs accepts a trace upload plus an
+// analysis kind and answers 202 with a job id; the work runs in the job
+// manager's worker pool, journaled so a crash between the 202 and the
+// result re-runs the job on the next boot. Without a -state-dir (or with
+// the disk tier down) the endpoint degrades gracefully: the analysis
+// runs synchronously in the request and the response is a plain 200,
+// flagged with X-Pdt-Mode: sync.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/celltrace/pdt/internal/analyzer/cache"
+	"github.com/celltrace/pdt/internal/faults"
+	"github.com/celltrace/pdt/internal/jobs"
+)
+
+// setupState wires the durable tier under cfg.stateDir: the disk-backed
+// cache tier, the job journal, and the job manager (including journal
+// replay — interrupted jobs restart here). A no-op when stateDir is
+// empty. Call once, before the server starts handling requests.
+func (s *server) setupState() error {
+	if s.cfg.chaosSpec != "" {
+		plan, err := faults.ParseService(s.cfg.chaosSpec)
+		if err != nil {
+			return err
+		}
+		s.chaos = plan
+		s.log.Warn("chaos plan armed", "plan", plan.String())
+	}
+	if s.cfg.stateDir == "" {
+		return nil
+	}
+	if s.cache == nil {
+		return errors.New("-state-dir requires the cache to be enabled")
+	}
+	if err := os.MkdirAll(s.cfg.stateDir, 0o755); err != nil {
+		return fmt.Errorf("state dir: %w", err)
+	}
+	tier, err := cache.OpenDiskTier(filepath.Join(s.cfg.stateDir, "objects"), s.cfg.diskCacheBytes, s.disturber())
+	if err != nil {
+		return err
+	}
+	s.cache.AttachDisk(tier)
+	if st := tier.Stats(); st.Rehydrated > 0 {
+		s.log.Info("disk tier rehydrated", "objects", st.Rehydrated, "bytes", st.Bytes)
+	}
+
+	j, recs, st, err := jobs.OpenJournal(filepath.Join(s.cfg.stateDir, "jobs.journal"), s.disturber())
+	if err != nil {
+		return err
+	}
+	s.journal = j
+	if st.Damaged > 0 {
+		s.log.Warn("job journal damage dropped", "lines", st.Damaged)
+	}
+	s.jobs = jobs.New(j, recs, st, jobs.Config{
+		Workers:     s.cfg.jobWorkers,
+		MaxAttempts: s.cfg.jobAttempts,
+		BackoffBase: s.cfg.jobBackoff,
+		BackoffCap:  s.cfg.jobBackoffCap,
+		Fetch: func(key string) ([]byte, bool) {
+			k, ok := cache.ParseKey(key)
+			if !ok {
+				return nil, false
+			}
+			return s.cache.RawImage(k)
+		},
+		Exec: func(ctx context.Context, kind string, image []byte) ([]byte, error) {
+			if s.cfg.requestTimeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, s.cfg.requestTimeout)
+				defer cancel()
+			}
+			return s.cache.Artifact(ctx, image, kind, s.cfg.limits)
+		},
+		Notify: notifyWebhook,
+		Release: func(key string) {
+			if k, ok := cache.ParseKey(key); ok {
+				tier.Unpin(k)
+			}
+		},
+		PhaseHook: s.phaseHook(),
+		Log:       s.log,
+	})
+	// Replayed jobs were pinned by the process that accepted them; that
+	// pin died with it. Re-pin before the workers start so the evictor
+	// cannot drop an image a replay is about to need.
+	replayed := 0
+	for _, jb := range s.jobs.Jobs() {
+		if jb.Terminal() {
+			continue
+		}
+		if k, ok := cache.ParseKey(jb.Key); ok {
+			tier.Pin(k)
+		}
+		replayed++
+	}
+	if replayed > 0 {
+		s.log.Info("replaying interrupted jobs", "count", replayed)
+	}
+	s.jobs.Start()
+	return nil
+}
+
+// closeState stops the job workers and closes the journal.
+func (s *server) closeState() {
+	if s.jobs != nil {
+		s.jobs.Stop()
+	}
+	if s.journal != nil {
+		_ = s.journal.Close()
+	}
+}
+
+// disturber exposes the chaos plan to the disk tier and journal; nil
+// when no plan is armed.
+func (s *server) disturber() *faults.ServicePlan { return s.chaos }
+
+// phaseHook translates the chaos plan's killphase directives into the
+// job manager's crash seam.
+func (s *server) phaseHook() func(id, phase string) error {
+	if s.chaos == nil {
+		return nil
+	}
+	return func(id, phase string) error {
+		if s.chaos.Kill(phase) {
+			s.log.Error("chaos: simulated kill", "job", id, "phase", phase)
+			return fmt.Errorf("chaos kill at %s", phase)
+		}
+		return nil
+	}
+}
+
+// notifyWebhook delivers a job document to its callback URL.
+func notifyWebhook(url string, payload []byte) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("webhook: %s", resp.Status)
+	}
+	return nil
+}
+
+// asyncAvailable reports whether a job can be accepted durably right
+// now; otherwise submissions degrade to synchronous execution.
+func (s *server) asyncAvailable() bool {
+	if s.jobs == nil || s.jobs.Crashed() {
+		return false
+	}
+	if deg, _ := s.cache.Disk().Degraded(); deg {
+		return false
+	}
+	return true
+}
+
+// handleSubmitJob accepts POST /v1/jobs?kind=summary[&webhook=URL] with
+// the raw trace image as the body. On the durable path it persists the
+// image to the disk tier, journals the acceptance, and answers 202 with
+// the job document; when durability is unavailable it answers like the
+// matching synchronous endpoint would, with X-Pdt-Mode: sync.
+func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	kind := r.URL.Query().Get("kind")
+	if kind == "" {
+		kind = cache.KindSummary
+	}
+	if !cache.ValidKind(kind) {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("unknown analysis kind %q", kind))
+		return
+	}
+	webhook := r.URL.Query().Get("webhook")
+	if !s.asyncAvailable() {
+		s.runSync(w, r, kind, nil)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	key := cache.KeyOf(data)
+	tier := s.cache.Disk()
+	// The image must be durable before the 202: a replayed job has no
+	// request body to fall back on. A failed spill degrades this
+	// request to the synchronous path instead of losing it.
+	if err := tier.Put(key, cache.KindTrace, data); err != nil {
+		s.log.Warn("job image spill failed, degrading to sync", "err", err)
+		s.runSync(w, r, kind, data)
+		return
+	}
+	tier.Pin(key)
+	jb, err := s.jobs.Submit(kind, key.String(), webhook)
+	if err != nil {
+		tier.Unpin(key)
+		switch {
+		case errors.Is(err, jobs.ErrBusy):
+			w.Header().Set("Retry-After", s.retryAfter())
+			s.writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, jobs.ErrCrashed):
+			s.writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			// The journal would not take the accept record; the job is
+			// not durable, so don't pretend. Serve it synchronously.
+			s.log.Warn("job journal rejected accept, degrading to sync", "err", err)
+			s.runSync(w, r, kind, data)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+jb.ID)
+	s.writeJSON(w, http.StatusAccepted, jb)
+}
+
+// runSync executes a job submission synchronously through the normal
+// analysis stack (admission control, deadline, error mapping included).
+// data, when non-nil, replaces the already-consumed request body.
+func (s *server) runSync(w http.ResponseWriter, r *http.Request, kind string, data []byte) {
+	w.Header().Set("X-Pdt-Mode", "sync")
+	if data != nil {
+		r = r.Clone(r.Context())
+		r.Body = io.NopCloser(bytes.NewReader(data))
+		r.ContentLength = int64(len(data))
+	}
+	s.analysis(kind, s.renderFor(kind)).ServeHTTP(w, r)
+}
+
+// renderFor maps an artifact kind to its renderFunc.
+func (s *server) renderFor(kind string) renderFunc {
+	switch kind {
+	case cache.KindProfile:
+		return s.renderProfile
+	case cache.KindGaps:
+		return s.renderGaps
+	case cache.KindCritPath:
+		return s.renderCritPath
+	case cache.KindDoctor:
+		return s.renderDoctor
+	default:
+		return s.renderSummary
+	}
+}
+
+// handleGetJob serves GET /v1/jobs/{id}: the job document as JSON.
+func (s *server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("async jobs disabled (no -state-dir)"))
+		return
+	}
+	jb, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, jb)
+}
+
+// handleJobResult serves GET /v1/jobs/{id}/result: the rendered artifact
+// of a completed job, restored through the cache tiers (or recomputed
+// from the durable trace image). 409 until the job is done; 410 if the
+// trace image has been evicted from the disk tier since.
+func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("async jobs disabled (no -state-dir)"))
+		return
+	}
+	jb, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	if jb.Status == jobs.StatusFailed {
+		s.writeJSON(w, http.StatusConflict, jb)
+		return
+	}
+	if jb.Status != jobs.StatusDone {
+		w.Header().Set("Retry-After", s.retryAfter())
+		s.writeJSON(w, http.StatusConflict, jb)
+		return
+	}
+	key, ok := cache.ParseKey(jb.Key)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, errors.New("malformed job key"))
+		return
+	}
+	img, ok := s.cache.RawImage(key)
+	if !ok {
+		s.writeError(w, http.StatusGone, errors.New("trace image evicted from the disk tier"))
+		return
+	}
+	b, err := s.cache.Artifact(r.Context(), img, jb.Kind, s.cfg.limits)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
+// writeJSON emits one JSON document with the given status.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -7,7 +7,10 @@
 // Repeated uploads of the same trace bytes are served from a
 // content-addressed (SHA-256), size-bounded LRU cache of loaded traces
 // and memoized analysis artifacts, with singleflight dedup of concurrent
-// loads; GET /v1/stats exposes its counters.
+// loads; GET /v1/stats exposes its counters. With -state-dir the cache
+// gains a disk-backed second tier (CRC-framed objects, atomic writes,
+// rehydrated on boot) and the async job API becomes durable: accepted
+// jobs are journaled and replayed after a crash.
 //
 // Endpoints:
 //
@@ -16,13 +19,18 @@
 //	POST /v1/gaps     trace body -> event-free stretches JSON
 //	POST /v1/critpath trace body -> critical-path JSON
 //	POST /v1/doctor   trace body -> salvage/recovery report JSON
-//	GET  /v1/stats    cache hit/miss/evict/bytes counters
+//	POST /v1/diff     two traces -> overhead-attribution diff JSON
+//	POST /v1/jobs     trace body + ?kind= -> 202 + job id (or sync 200)
+//	GET  /v1/jobs/{id}         job document JSON
+//	GET  /v1/jobs/{id}/result  completed job's artifact JSON
+//	GET  /v1/stats    cache/disk/jobs counters
 //	GET  /healthz     liveness probe
-//	GET  /readyz      readiness probe (503 while draining)
+//	GET  /readyz      readiness probe (503 draining, "degraded" body
+//	                  when the durable tier is down)
 //
 // Usage:
 //
-//	pdt-tad -addr 127.0.0.1:8329 -request-timeout 30s -max-body 64MiB
+//	pdt-tad -addr 127.0.0.1:8329 -state-dir /var/lib/pdt-tad
 package main
 
 import (
@@ -67,6 +75,13 @@ func run(args []string, stdout io.Writer, logw io.Writer, ready chan<- net.Addr)
 		maxDecode  = fs.Int64("max-decode-bytes", def.limits.MaxDecodeBytes, "decode memory budget in bytes")
 		cacheBytes = fs.Int64("cache-bytes", def.cacheBytes, "trace cache retention budget in bytes (0 with -cache-entries 0 disables the cache)")
 		cacheEnts  = fs.Int("cache-entries", def.cacheEntries, "max cached traces (0 = unbounded when the cache is enabled)")
+		stateDir   = fs.String("state-dir", "", "directory for the disk cache tier and job journal (empty = memory-only, jobs run synchronously)")
+		diskBytes  = fs.Int64("disk-cache-bytes", def.diskCacheBytes, "disk cache tier budget in bytes (0 = unbounded)")
+		jobWorkers = fs.Int("job-workers", def.jobWorkers, "async job worker count")
+		jobTries   = fs.Int("job-attempts", def.jobAttempts, "per-job attempt budget before it fails terminally")
+		jobBackoff = fs.Duration("job-backoff", def.jobBackoff, "base retry backoff between job attempts")
+		jobBackCap = fs.Duration("job-backoff-cap", def.jobBackoffCap, "ceiling on the exponential job retry backoff")
+		chaosSpec  = fs.String("chaos", "", "fault-injection plan for the durable tier (e.g. diskfull:3,killphase:render) — test harness only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,12 +99,23 @@ func run(args []string, stdout io.Writer, logw io.Writer, ready chan<- net.Addr)
 	cfg.limits.MaxDecodeBytes = *maxDecode
 	cfg.cacheBytes = *cacheBytes
 	cfg.cacheEntries = *cacheEnts
+	cfg.stateDir = *stateDir
+	cfg.diskCacheBytes = *diskBytes
+	cfg.jobWorkers = *jobWorkers
+	cfg.jobAttempts = *jobTries
+	cfg.jobBackoff = *jobBackoff
+	cfg.jobBackoffCap = *jobBackCap
+	cfg.chaosSpec = *chaosSpec
 	// The body cap is the outer wall; keep the analyzer's file limit in
 	// step so admission control agrees with the HTTP layer.
 	cfg.limits.MaxFileBytes = cfg.maxBody
 
 	log := slog.New(slog.NewJSONHandler(logw, nil))
 	srv := newServer(cfg, log)
+	if err := srv.setupState(); err != nil {
+		return err
+	}
+	defer srv.closeState()
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

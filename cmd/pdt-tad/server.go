@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -15,6 +16,8 @@ import (
 
 	"github.com/celltrace/pdt/internal/analyzer"
 	"github.com/celltrace/pdt/internal/analyzer/cache"
+	"github.com/celltrace/pdt/internal/faults"
+	"github.com/celltrace/pdt/internal/jobs"
 )
 
 // config collects the service knobs; every one maps to a flag in main.
@@ -39,6 +42,23 @@ type config struct {
 	// every request re-analyzes from scratch.
 	cacheBytes   int64
 	cacheEntries int
+	// stateDir, when set, makes the daemon durable: a disk-backed cache
+	// tier under stateDir/objects and a job journal at
+	// stateDir/jobs.journal. Empty = memory-only; the async job API
+	// degrades to synchronous execution.
+	stateDir string
+	// diskCacheBytes bounds the disk tier (0 = unbounded).
+	diskCacheBytes int64
+	// jobWorkers/jobAttempts/jobBackoff/jobBackoffCap shape the async
+	// job manager: worker pool size, per-job attempt budget, and the
+	// capped exponential retry backoff.
+	jobWorkers    int
+	jobAttempts   int
+	jobBackoff    time.Duration
+	jobBackoffCap time.Duration
+	// chaosSpec is a faults.ParseService plan injected into the disk
+	// tier, the journal, and the job phase hooks (test harness only).
+	chaosSpec string
 }
 
 func defaultConfig() config {
@@ -51,6 +71,11 @@ func defaultConfig() config {
 		drain:          20 * time.Second,
 		limits:         analyzer.DefaultServiceLimits(),
 		cacheBytes:     256 << 20,
+		diskCacheBytes: 1 << 30,
+		jobWorkers:     2,
+		jobAttempts:    3,
+		jobBackoff:     250 * time.Millisecond,
+		jobBackoffCap:  5 * time.Second,
 	}
 }
 
@@ -67,6 +92,15 @@ type server struct {
 	// cache is the content-addressed trace cache shared by the analysis
 	// endpoints; nil when disabled (every request analyzes from scratch).
 	cache *cache.Cache
+	// jobs/journal are the async job manager and its durable journal;
+	// nil without -state-dir (the job API then runs synchronously).
+	jobs    *jobs.Manager
+	journal *jobs.Journal
+	// chaos is the parsed fault-injection plan; nil without -chaos.
+	chaos *faults.ServicePlan
+	// avgNanos is an EWMA of recent analysis durations, feeding the
+	// derived Retry-After on 429/504 responses.
+	avgNanos atomic.Int64
 	// analysisHook, when non-nil, runs inside each analysis handler after
 	// admission (test seam for panic and saturation tests).
 	analysisHook func()
@@ -129,6 +163,9 @@ func (s *server) handler() http.Handler {
 	mux.Handle("POST /v1/critpath", s.analysis("critpath", s.renderCritPath))
 	mux.Handle("POST /v1/doctor", s.analysis("doctor", s.renderDoctor))
 	mux.Handle("POST /v1/diff", s.analysis("diff", s.renderDiff))
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	return s.logRequests(s.recoverPanics(mux))
 }
 
@@ -138,7 +175,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz reports 503 once a drain has begun so load balancers stop
-// routing new work here while in-flight requests finish.
+// routing new work here while in-flight requests finish. A failing disk
+// tier or a dead job manager does not fail readiness — the synchronous
+// path still works — but the body says "degraded" so operators and the
+// chaos harness can see the durable tier is out.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.draining.Load() {
@@ -146,7 +186,59 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "draining")
 		return
 	}
+	if reason := s.degradedReason(); reason != "" {
+		fmt.Fprintln(w, "degraded:", reason)
+		return
+	}
 	fmt.Fprintln(w, "ready")
+}
+
+// degradedReason reports why the durable tier is unavailable ("" = it
+// is healthy or was never configured).
+func (s *server) degradedReason() string {
+	if s.jobs != nil && s.jobs.Crashed() {
+		return "job manager stopped"
+	}
+	if s.cache != nil && s.cache.Disk() != nil {
+		if deg, errText := s.cache.Disk().Degraded(); deg {
+			return "disk tier: " + errText
+		}
+	}
+	return ""
+}
+
+// retryAfter derives the Retry-After advice for shed work from actual
+// load: the backlog ahead of a retry (running + queued analyses, plus
+// itself) over the service rate, using an EWMA of recent analysis
+// durations. Clamped to [1s, 60s] so the advice is always sane even
+// with no samples or a pathological backlog.
+func (s *server) retryAfter() string {
+	avg := time.Duration(s.avgNanos.Load())
+	if avg <= 0 {
+		avg = 500 * time.Millisecond
+	}
+	backlog := len(s.slots) + len(s.queue) + 1
+	drain := avg * time.Duration(backlog) / time.Duration(s.cfg.maxConcurrent)
+	secs := int64(math.Ceil(drain.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// observe feeds one analysis duration into the EWMA (weight 1/8). The
+// load/store race is harmless: any interleaving still converges on the
+// recent mean.
+func (s *server) observe(d time.Duration) {
+	old := s.avgNanos.Load()
+	if old == 0 {
+		s.avgNanos.Store(int64(d))
+		return
+	}
+	s.avgNanos.Store(old + (int64(d)-old)/8)
 }
 
 // renderFunc turns an uploaded request body into a JSON response body.
@@ -185,66 +277,72 @@ func (s *server) loadShared(ctx context.Context, data []byte) (*analyzer.Trace, 
 	return tr, nil, nil
 }
 
-func (s *server) renderSummary(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
-	tr, h, err := s.loadShared(ctx, data)
+// artifact serves one analysis kind through the tiered cache — memory
+// memo, then CRC-verified disk tier, then recompute with write-through —
+// falling back to direct computation when the cache is disabled.
+func (s *server) artifact(ctx context.Context, kind string, data []byte, w io.Writer, direct func() error) error {
+	if s.cache == nil {
+		return direct()
+	}
+	b, err := s.cache.Artifact(ctx, data, kind, s.cfg.limits)
 	if err != nil {
 		return err
 	}
-	if h != nil {
-		return analyzer.WriteJSON(tr, h.Summary(), w)
-	}
-	return analyzer.WriteJSON(tr, analyzer.Summarize(tr), w)
+	_, err = w.Write(b)
+	return err
+}
+
+func (s *server) renderSummary(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
+	return s.artifact(ctx, cache.KindSummary, data, w, func() error {
+		tr, _, err := s.loadShared(ctx, data)
+		if err != nil {
+			return err
+		}
+		return analyzer.WriteJSON(tr, analyzer.Summarize(tr), w)
+	})
 }
 
 func (s *server) renderProfile(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
-	tr, h, err := s.loadShared(ctx, data)
-	if err != nil {
-		return err
-	}
-	if h != nil {
-		return analyzer.WriteProfilePairsJSON(tr, h.Profile(), w)
-	}
-	return analyzer.WriteProfileJSON(tr, w)
+	return s.artifact(ctx, cache.KindProfile, data, w, func() error {
+		tr, _, err := s.loadShared(ctx, data)
+		if err != nil {
+			return err
+		}
+		return analyzer.WriteProfileJSON(tr, w)
+	})
 }
 
 func (s *server) renderGaps(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
-	tr, h, err := s.loadShared(ctx, data)
-	if err != nil {
-		return err
-	}
-	if h != nil {
-		min, gaps := h.Gaps()
-		return analyzer.WriteGapsJSON(min, gaps, w)
-	}
-	min := analyzer.SuggestGapThreshold(tr)
-	return analyzer.WriteGapsJSON(min, analyzer.FindGaps(tr, min), w)
+	return s.artifact(ctx, cache.KindGaps, data, w, func() error {
+		tr, _, err := s.loadShared(ctx, data)
+		if err != nil {
+			return err
+		}
+		min := analyzer.SuggestGapThreshold(tr)
+		return analyzer.WriteGapsJSON(min, analyzer.FindGaps(tr, min), w)
+	})
 }
 
 func (s *server) renderCritPath(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
-	tr, h, err := s.loadShared(ctx, data)
-	if err != nil {
-		return err
-	}
-	if h != nil {
-		return analyzer.WriteCriticalPathJSON(h.CriticalPath(), w)
-	}
-	return analyzer.WriteCriticalPathJSON(analyzer.ComputeCriticalPath(tr), w)
+	return s.artifact(ctx, cache.KindCritPath, data, w, func() error {
+		tr, _, err := s.loadShared(ctx, data)
+		if err != nil {
+			return err
+		}
+		return analyzer.WriteCriticalPathJSON(analyzer.ComputeCriticalPath(tr), w)
+	})
 }
 
 // renderDoctor never treats damage as an error — that is the point of the
 // endpoint — but limit violations and deadlines still abort.
 func (s *server) renderDoctor(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
-	var d *analyzer.DoctorReport
-	var err error
-	if s.cache != nil {
-		d, err = s.cache.Doctor(ctx, data, s.cfg.limits)
-	} else {
-		d, err = analyzer.DoctorDataContext(ctx, data, s.cfg.limits)
-	}
-	if err != nil {
-		return err
-	}
-	return d.WriteJSON(w)
+	return s.artifact(ctx, cache.KindDoctor, data, w, func() error {
+		d, err := analyzer.DoctorDataContext(ctx, data, s.cfg.limits)
+		if err != nil {
+			return err
+		}
+		return d.WriteJSON(w)
+	})
 }
 
 // handleStats reports the cache counters (GET /v1/stats).
@@ -261,7 +359,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CapacityEntries int    `json:"capacityEntries"`
 	}
 	out := struct {
-		Cache cacheStats `json:"cache"`
+		Cache cacheStats       `json:"cache"`
+		Disk  *cache.DiskStats `json:"disk,omitempty"`
+		Jobs  *jobs.Stats      `json:"jobs,omitempty"`
 	}{}
 	if s.cache != nil {
 		st := s.cache.Stats()
@@ -271,6 +371,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Evictions: st.Evictions, Entries: st.Entries, Bytes: st.Bytes,
 			CapacityBytes: st.MaxBytes, CapacityEntries: st.MaxEntries,
 		}
+		if d := s.cache.Disk(); d != nil {
+			dst := d.Stats()
+			out.Disk = &dst
+		}
+	}
+	if s.jobs != nil {
+		jst := s.jobs.Stats()
+		out.Jobs = &jst
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -293,18 +401,20 @@ func (s *server) analysis(name string, render renderFunc) http.Handler {
 		release, err := s.admit(ctx)
 		if err != nil {
 			if errors.Is(err, errShed) {
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", s.retryAfter())
 				s.writeError(w, http.StatusTooManyRequests, err)
 				return
 			}
 			// A queue-deadline 504 is as retryable as a 429 shed: the
 			// server was busy, not broken. Advertise that consistently.
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter())
 			s.writeError(w, http.StatusGatewayTimeout,
 				fmt.Errorf("queued past the request deadline: %w", err))
 			return
 		}
 		defer release()
+		start := time.Now()
+		defer func() { s.observe(time.Since(start)) }()
 		if s.analysisHook != nil {
 			s.analysisHook()
 		}
@@ -333,7 +443,7 @@ func (s *server) analysis(name string, render renderFunc) http.Handler {
 			case errors.Is(err, analyzer.ErrLimitExceeded):
 				s.writeError(w, http.StatusRequestEntityTooLarge, err)
 			case errors.Is(err, context.DeadlineExceeded):
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", s.retryAfter())
 				s.writeError(w, http.StatusGatewayTimeout, err)
 			case errors.Is(err, context.Canceled):
 				// Client went away; nothing useful to write.

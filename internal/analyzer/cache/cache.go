@@ -26,7 +26,9 @@ import (
 	"container/list"
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"errors"
+	"fmt"
 
 	"sync"
 
@@ -38,6 +40,19 @@ type Key [sha256.Size]byte
 
 // KeyOf hashes a trace image.
 func KeyOf(data []byte) Key { return sha256.Sum256(data) }
+
+// String renders the key as lowercase hex (the disk tier's and the job
+// journal's on-disk spelling).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex spelling back into a Key.
+func ParseKey(s string) (Key, bool) {
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(Key{}) {
+		return Key{}, false
+	}
+	return Key(raw), true
+}
 
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
@@ -60,6 +75,11 @@ type Stats struct {
 type Cache struct {
 	maxEntries int
 	maxBytes   int64
+	// disk is the optional second tier; see AttachDisk. Artifacts and
+	// raw images are written through to it so a warm cache survives a
+	// process restart, and restores are CRC-verified so a corrupt
+	// object recomputes instead of serving wrong bytes.
+	disk *DiskTier
 
 	mu        sync.Mutex
 	ll        *list.List // *entry, most recently used at the front
@@ -117,6 +137,9 @@ type flight struct {
 	gapMin   uint64
 	gaps     []analyzer.Gap
 	critpath *analyzer.CriticalPath
+	// arts memoizes the rendered JSON artifact bytes per kind — what
+	// the service actually serves, and what spills to the disk tier.
+	arts map[string][]byte
 }
 
 // Handle is the per-request view of a cached trace: the shared loaded
@@ -193,6 +216,12 @@ func (c *Cache) Load(ctx context.Context, data []byte, lim analyzer.Limits) (*Ha
 			if err != nil {
 				return nil, err
 			}
+			// Spill the raw image to the disk tier after settling, so
+			// dedup waiters are not held behind an fsync. Failure only
+			// latches the tier degraded; the request is served either way.
+			if c.disk != nil {
+				_ = c.disk.Put(key, KindTrace, data)
+			}
 			return &Handle{f}, nil
 		}
 		select {
@@ -247,6 +276,184 @@ func (c *Cache) Doctor(ctx context.Context, data []byte, lim analyzer.Limits) (*
 		}
 		return f.doctor, nil
 	}
+}
+
+// AttachDisk wires a disk-backed second tier under the same content
+// addresses: rendered artifacts and raw trace images write through to
+// it, Artifact consults it between the memory tier and a recompute, and
+// a warm cache therefore survives a process restart. Call before the
+// cache starts serving.
+func (c *Cache) AttachDisk(d *DiskTier) { c.disk = d }
+
+// Disk returns the attached disk tier, or nil.
+func (c *Cache) Disk() *DiskTier { return c.disk }
+
+// RawImage restores a trace image from the disk tier by content key —
+// how a replayed job recovers the bytes of an upload whose HTTP request
+// died with the previous process.
+func (c *Cache) RawImage(key Key) ([]byte, bool) {
+	if c.disk == nil {
+		return nil, false
+	}
+	return c.disk.Get(key, KindTrace)
+}
+
+// AnalysisKinds lists the artifact kinds Artifact can produce.
+var AnalysisKinds = []string{KindSummary, KindProfile, KindGaps, KindCritPath, KindDoctor}
+
+// ValidKind reports whether kind names a servable artifact.
+func ValidKind(kind string) bool {
+	for _, k := range AnalysisKinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Render computes the canonical JSON artifact of one kind from a
+// handle, using the handle's memoized analysis (each underlying kernel
+// still runs at most once per entry). The bytes are deterministic for a
+// given trace image, which is what makes the disk tier's
+// content-addressed artifacts and the chaos harness's byte-convergence
+// check possible.
+func Render(kind string, h *Handle) ([]byte, error) {
+	var buf bytes.Buffer
+	var err error
+	switch kind {
+	case KindSummary:
+		err = analyzer.WriteJSON(h.Trace(), h.Summary(), &buf)
+	case KindProfile:
+		err = analyzer.WriteProfilePairsJSON(h.Trace(), h.Profile(), &buf)
+	case KindGaps:
+		min, gaps := h.Gaps()
+		err = analyzer.WriteGapsJSON(min, gaps, &buf)
+	case KindCritPath:
+		err = analyzer.WriteCriticalPathJSON(h.CriticalPath(), &buf)
+	default:
+		return nil, fmt.Errorf("cache: unknown artifact kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Artifact returns the rendered JSON artifact of the given kind for the
+// trace image, from the fastest tier that has it:
+//
+//  1. the memory tier's memoized artifact bytes (a settled entry),
+//  2. the disk tier, CRC-verified (a corrupt object is deleted and the
+//     lookup falls through to recompute),
+//  3. computed — loading the trace through the normal singleflight path
+//     if needed — then memoized and spilled to the disk tier.
+//
+// After a restart, path 2 is what makes the warm cache real: the upload
+// is hashed and served without parsing, decoding, or analyzing.
+func (c *Cache) Artifact(ctx context.Context, data []byte, kind string, lim analyzer.Limits) ([]byte, error) {
+	key := KeyOf(data)
+	if b, ok := c.peekArtifact(key, kind); ok {
+		return b, nil
+	}
+	if c.disk != nil {
+		if b, ok := c.disk.Get(key, kind); ok {
+			return b, nil
+		}
+	}
+	if kind == KindDoctor {
+		d, err := c.Doctor(ctx, data, lim)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := d.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return c.adoptArtifact(key, kind, buf.Bytes()), nil
+	}
+	h, err := c.Load(ctx, data, lim)
+	if err != nil {
+		return nil, err
+	}
+	b, err := Render(kind, h)
+	if err != nil {
+		return nil, err
+	}
+	b = storeArtifact(h.f, kind, b)
+	if c.disk != nil {
+		_ = c.disk.Put(key, kind, b)
+	}
+	return b, nil
+}
+
+// peekArtifact serves the memory tier's memoized artifact bytes without
+// triggering a load. A hit counts as a cache hit and refreshes LRU.
+func (c *Cache) peekArtifact(key Key, kind string) ([]byte, bool) {
+	c.mu.Lock()
+	e := c.entries[key]
+	var f *flight
+	if e != nil {
+		if kind == KindDoctor {
+			f = e.doctor
+		} else {
+			f = e.trace
+		}
+	}
+	if f == nil || !f.settled || f.err != nil {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.ll.MoveToFront(e.elem)
+	c.mu.Unlock()
+	f.memoMu.Lock()
+	b := f.arts[kind]
+	f.memoMu.Unlock()
+	if b == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	return b, true
+}
+
+// storeArtifact memoizes rendered bytes on a flight; the first writer
+// wins so concurrent renders converge on one shared slice.
+func storeArtifact(f *flight, kind string, b []byte) []byte {
+	f.memoMu.Lock()
+	defer f.memoMu.Unlock()
+	if prev := f.arts[kind]; prev != nil {
+		return prev
+	}
+	if f.arts == nil {
+		f.arts = map[string][]byte{}
+	}
+	f.arts[kind] = b
+	return b
+}
+
+// adoptArtifact memoizes rendered bytes onto whatever flight currently
+// holds the key (if any — it may have been evicted) and spills them to
+// the disk tier.
+func (c *Cache) adoptArtifact(key Key, kind string, b []byte) []byte {
+	c.mu.Lock()
+	e := c.entries[key]
+	var f *flight
+	if e != nil {
+		if kind == KindDoctor {
+			f = e.doctor
+		} else {
+			f = e.trace
+		}
+	}
+	c.mu.Unlock()
+	if f != nil && f.settled && f.err == nil {
+		b = storeArtifact(f, kind, b)
+	}
+	if c.disk != nil {
+		_ = c.disk.Put(key, kind, b)
+	}
+	return b
 }
 
 // Stats snapshots the counters.

@@ -1,0 +1,241 @@
+package cache_test
+
+// Tier-interaction tests: the memory tier, the disk tier, and the
+// recompute path layered under one content address. These are the edge
+// cases a restart-heavy fleet actually hits — disk entry present but
+// memory evicted, disk entry corrupt, and concurrent spill/restore of
+// the same key.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/analyzer/cache"
+)
+
+// objPath computes where the disk tier stores one object.
+func objPath(dir string, key cache.Key, kind string) string {
+	return filepath.Join(dir, key.String()+"."+kind)
+}
+
+// diskCache builds a memory cache with a disk tier under dir.
+func diskCache(t *testing.T, dir string, maxEntries int) *cache.Cache {
+	t.Helper()
+	d, err := cache.OpenDiskTier(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cache.New(maxEntries, 0)
+	c.AttachDisk(d)
+	return c
+}
+
+// TestArtifactWarmRestart: a fresh process (new memory cache, reopened
+// disk tier) serves the same artifact bytes without reloading the trace.
+func TestArtifactWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	data := traceImage(t, 400)
+	ctx := context.Background()
+
+	c1 := diskCache(t, dir, 0)
+	want, err := c1.Artifact(ctx, data, cache.KindSummary, analyzer.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": brand-new memory tier over the same directory.
+	c2 := diskCache(t, dir, 0)
+	got, err := c2.Artifact(ctx, data, cache.KindSummary, analyzer.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("warm-restart artifact differs from the original")
+	}
+	st := c2.Stats()
+	if st.Misses != 0 {
+		t.Fatalf("warm restart ran a load: %+v", st)
+	}
+	dst := c2.Disk().Stats()
+	if dst.Hits == 0 {
+		t.Fatalf("warm restart did not hit the disk tier: %+v", dst)
+	}
+	// The raw image also survived, for job replay.
+	if img, ok := c2.RawImage(cache.KeyOf(data)); !ok || !bytes.Equal(img, data) {
+		t.Fatal("raw trace image not restorable from the disk tier")
+	}
+}
+
+// TestArtifactDiskHitAfterMemoryEviction: a one-entry memory tier is
+// churned so the first trace's entry is evicted; its artifact must come
+// back from disk, byte-identical, with no recompute load.
+func TestArtifactDiskHitAfterMemoryEviction(t *testing.T) {
+	dir := t.TempDir()
+	c := diskCache(t, dir, 1)
+	ctx := context.Background()
+	a := traceImage(t, 400)
+	b := traceImage(t, 700)
+
+	want, err := c.Artifact(ctx, a, cache.KindCritPath, analyzer.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading b evicts a from the one-entry memory tier.
+	if _, err := c.Artifact(ctx, b, cache.KindCritPath, analyzer.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("churn did not evict: %+v", st)
+	}
+
+	loadsBefore := c.Stats().Misses
+	got, err := c.Artifact(ctx, a, cache.KindCritPath, analyzer.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("disk-restored artifact differs")
+	}
+	if c.Stats().Misses != loadsBefore {
+		t.Fatal("memory-evicted entry triggered a reload despite the disk tier")
+	}
+	if dst := c.Disk().Stats(); dst.Hits == 0 {
+		t.Fatalf("restore did not come from disk: %+v", dst)
+	}
+}
+
+// TestArtifactCorruptDiskRecomputes: a flipped byte in the stored
+// artifact must be detected by the CRC frame and recomputed — the
+// caller gets correct bytes, never an error, never the corrupt object.
+func TestArtifactCorruptDiskRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	data := traceImage(t, 400)
+	key := cache.KeyOf(data)
+	ctx := context.Background()
+
+	c1 := diskCache(t, dir, 0)
+	want, err := c1.Artifact(ctx, data, cache.KindGaps, analyzer.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the stored artifact on disk, then restart.
+	path := objPath(dir, key, cache.KindGaps)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := diskCache(t, dir, 0)
+	got, err := c2.Artifact(ctx, data, cache.KindGaps, analyzer.Limits{})
+	if err != nil {
+		t.Fatalf("corrupt disk object surfaced as an error: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recomputed artifact differs from the original")
+	}
+	dst := c2.Disk().Stats()
+	if dst.Corrupt == 0 {
+		t.Fatalf("corruption not detected: %+v", dst)
+	}
+	// The recompute must have re-spilled a good copy.
+	fresh, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal("recompute did not re-spill the artifact")
+	}
+	if bytes.Equal(fresh, raw) {
+		t.Fatal("corrupt object still on disk")
+	}
+	if got2, err := c2.Artifact(ctx, data, cache.KindGaps, analyzer.Limits{}); err != nil || !bytes.Equal(got2, want) {
+		t.Fatal("re-spilled artifact does not serve")
+	}
+}
+
+// TestArtifactDoctorThroughTiers: the doctor artifact (computed from
+// corrupt bytes the strict load rejects) also survives the tiers.
+func TestArtifactDoctorThroughTiers(t *testing.T) {
+	dir := t.TempDir()
+	data := traceImage(t, 400)
+	data = data[:len(data)-len(data)/3] // truncate: strict load fails, doctor reports
+	ctx := context.Background()
+
+	c1 := diskCache(t, dir, 0)
+	want, err := c1.Artifact(ctx, data, cache.KindDoctor, analyzer.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := diskCache(t, dir, 0)
+	got, err := c2.Artifact(ctx, data, cache.KindDoctor, analyzer.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("doctor artifact not stable across restart")
+	}
+	if st := c2.Disk().Stats(); st.Hits == 0 {
+		t.Fatalf("doctor restart did not use the disk tier: %+v", st)
+	}
+}
+
+// TestConcurrentSpillRestoreSameKey hammers one key from many
+// goroutines while a churn goroutine keeps evicting it from a one-entry
+// memory tier: every response must be byte-identical under -race.
+func TestConcurrentSpillRestoreSameKey(t *testing.T) {
+	dir := t.TempDir()
+	c := diskCache(t, dir, 1)
+	ctx := context.Background()
+	hot := traceImage(t, 400)
+	churn := [][]byte{traceImage(t, 600), traceImage(t, 800)}
+
+	want, err := c.Artifact(ctx, hot, cache.KindSummary, analyzer.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg, churnWG sync.WaitGroup
+	stop := make(chan struct{})
+	churnWG.Add(1)
+	go func() { // eviction churn
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Artifact(ctx, churn[i%len(churn)], cache.KindSummary, analyzer.Limits{}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got, err := c.Artifact(ctx, hot, cache.KindSummary, analyzer.Limits{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					t.Error("concurrent spill/restore served wrong bytes")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	churnWG.Wait()
+}

@@ -1,0 +1,194 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseServiceRoundTrip(t *testing.T) {
+	specs := []string{
+		"diskfull:4096:1",
+		"diskfull:0:*",
+		"slowdisk:5",
+		"torn:3",
+		"torn:3:7",
+		"killphase:render:1",
+		"killphase:done:2",
+		"diskfull:4096:2,slowdisk:5,torn:1:0,killphase:accept:1",
+	}
+	for _, spec := range specs {
+		p, err := ParseService(spec)
+		if err != nil {
+			t.Fatalf("ParseService(%q): %v", spec, err)
+		}
+		if got := p.String(); got != spec {
+			t.Errorf("ParseService(%q).String() = %q", spec, got)
+		}
+	}
+}
+
+func TestParseServiceRejects(t *testing.T) {
+	for _, spec := range []string{
+		"diskfull",             // missing threshold
+		"diskfull:x",           // non-numeric
+		"slowdisk:5:5",         // too many args
+		"torn:0",               // 1-based index
+		"killphase:nonesuch",   // unknown phase
+		"killphase:render:0",   // 1-based occurrence
+		"stall:0:0:10",         // sim directive, wrong plan type
+		"diskfull:1,torn:zero", // error position in multi-spec
+	} {
+		if _, err := ParseService(spec); err == nil {
+			t.Errorf("ParseService(%q) accepted", spec)
+		}
+	}
+}
+
+func TestServicePlanEmptyAndNil(t *testing.T) {
+	var nilPlan *ServicePlan
+	if !nilPlan.Empty() {
+		t.Error("nil plan not Empty")
+	}
+	nilPlan.BeforeIO() // must not panic
+	if keep, err := nilPlan.WriteFault(10); keep != 10 || err != nil {
+		t.Errorf("nil WriteFault = %d, %v", keep, err)
+	}
+	if nilPlan.Kill("render") {
+		t.Error("nil plan kills")
+	}
+	p, err := ParseService("")
+	if err != nil || !p.Empty() {
+		t.Fatalf("empty spec: %v, Empty=%v", err, p.Empty())
+	}
+}
+
+func TestDiskFullConsumption(t *testing.T) {
+	p, err := ParseService("diskfull:100:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the threshold: writes sail through and accumulate.
+	for i := 0; i < 4; i++ {
+		if keep, err := p.WriteFault(25); keep != 25 || err != nil {
+			t.Fatalf("write %d: keep=%d err=%v", i, keep, err)
+		}
+	}
+	// 100 bytes written: the next two writes fail, then recovery.
+	for i := 0; i < 2; i++ {
+		if keep, err := p.WriteFault(10); !errors.Is(err, ErrDiskFull) || keep != 0 {
+			t.Fatalf("armed write %d: keep=%d err=%v, want ErrDiskFull", i, keep, err)
+		}
+	}
+	if keep, err := p.WriteFault(10); keep != 10 || err != nil {
+		t.Fatalf("post-budget write: keep=%d err=%v", keep, err)
+	}
+}
+
+func TestDiskFullForever(t *testing.T) {
+	p, err := ParseService("diskfull:0:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := p.WriteFault(1); !errors.Is(err, ErrDiskFull) {
+			t.Fatalf("write %d survived a diskfull:0:*", i)
+		}
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	p, err := ParseService("torn:2:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keep, err := p.WriteFault(10); keep != 10 || err != nil {
+		t.Fatalf("write 1: keep=%d err=%v", keep, err)
+	}
+	keep, err := p.WriteFault(10)
+	if !errors.Is(err, ErrTornWrite) || keep != 3 {
+		t.Fatalf("write 2: keep=%d err=%v, want 3, ErrTornWrite", keep, err)
+	}
+	// One-shot: the rule is consumed.
+	if keep, err := p.WriteFault(10); keep != 10 || err != nil {
+		t.Fatalf("write 3: keep=%d err=%v", keep, err)
+	}
+}
+
+func TestTornWriteDefaultKeepIsHalf(t *testing.T) {
+	p, err := ParseService("torn:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keep, err := p.WriteFault(9); !errors.Is(err, ErrTornWrite) || keep != 4 {
+		t.Fatalf("keep=%d err=%v, want 4 (half of 9), ErrTornWrite", keep, err)
+	}
+}
+
+func TestKillPhaseNth(t *testing.T) {
+	p, err := ParseService("killphase:render:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kill("accept") || p.Kill("done") {
+		t.Error("killed at a non-matching phase")
+	}
+	if p.Kill("render") {
+		t.Error("killed at occurrence 1, rule says 2")
+	}
+	if !p.Kill("render") {
+		t.Error("did not kill at occurrence 2")
+	}
+	if p.Kill("render") {
+		t.Error("killed again after the rule fired")
+	}
+}
+
+func TestSlowDiskDelays(t *testing.T) {
+	p, err := ParseService("slowdisk:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	p.BeforeIO()
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("BeforeIO returned after %v, want >= ~30ms", d)
+	}
+}
+
+// TestServicePlanConcurrent hammers one plan from many goroutines: the
+// counters must stay consistent (exactly Count failures) under -race.
+func TestServicePlanConcurrent(t *testing.T) {
+	p, err := ParseService("diskfull:0:64,torn:100:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fails, torn := 0, 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, err := p.WriteFault(8)
+				mu.Lock()
+				switch {
+				case errors.Is(err, ErrDiskFull):
+					fails++
+				case errors.Is(err, ErrTornWrite):
+					torn++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if fails != 64 {
+		t.Errorf("diskfull fired %d times, want exactly 64", fails)
+	}
+	if torn != 1 {
+		t.Errorf("torn fired %d times, want exactly 1", torn)
+	}
+}

@@ -1,0 +1,212 @@
+// Package jobs gives pdt-tad a crash-safe asynchronous job API: an
+// append-only, fsync'd journal of job state transitions plus a worker
+// manager that replays the journal on boot, so a job accepted with a
+// 202 survives the process that accepted it. A job killed mid-analysis
+// is re-run exactly once after restart; because every analysis artifact
+// is a deterministic render of a content-addressed trace image, the
+// replayed result is byte-identical to the uninterrupted one — which is
+// exactly what the chaos harness asserts.
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Journal line format: a magic tag, the CRC-32 (IEEE) of the JSON
+// payload in fixed-width hex, then the payload. One record per line.
+//
+//	pdtj1 3f2a9c01 {"op":"accept","id":"j-01",...}
+//
+// The CRC makes a torn tail (the classic crash artifact: a partially
+// written last line) and any in-place corruption detectable: replay
+// drops damaged lines and counts them instead of trusting them.
+const journalMagic = "pdtj1"
+
+// Record is one journaled job state transition.
+//
+// Ops, in lifecycle order:
+//
+//	accept    job admitted; Kind/Key/Webhook/MaxAttempts are set.
+//	          Written and fsync'd BEFORE the client's 202, so an
+//	          accepted job can never vanish.
+//	start     attempt Attempt began.
+//	fail      attempt Attempt failed with Err (retryable).
+//	giveup    the attempt budget is exhausted; the job is failed.
+//	done      the job completed; CRC is the checksum of the result
+//	          artifact, for byte-convergence verification.
+//	notified  the webhook callback was delivered.
+type Record struct {
+	Op          string `json:"op"`
+	ID          string `json:"id"`
+	Kind        string `json:"kind,omitempty"`
+	Key         string `json:"key,omitempty"`
+	Webhook     string `json:"webhook,omitempty"`
+	MaxAttempts int    `json:"maxAttempts,omitempty"`
+	Attempt     int    `json:"attempt,omitempty"`
+	Err         string `json:"err,omitempty"`
+	CRC         uint32 `json:"crc,omitempty"`
+}
+
+// ReplayStats reports what OpenJournal found.
+type ReplayStats struct {
+	Records int // intact records returned
+	Damaged int // lines dropped for bad magic, CRC, or JSON
+}
+
+// ErrJournalDisabled is returned by Append after Disable — the
+// in-process stand-in for "the process is dead"; nothing may reach the
+// journal afterwards.
+var ErrJournalDisabled = errors.New("jobs: journal disabled")
+
+// Disturber is the fault-injection seam for journal writes;
+// *faults.ServicePlan implements it.
+type Disturber interface {
+	BeforeIO()
+	WriteFault(n int) (keep int, err error)
+}
+
+// Journal is the append-only, fsync'd job journal. Append is safe for
+// concurrent use.
+type Journal struct {
+	path    string
+	disturb Disturber
+
+	mu       sync.Mutex
+	f        *os.File
+	disabled bool
+	appends  uint64
+	errs     uint64
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays
+// the intact records, and leaves the file open for appends. Damaged
+// lines — including the torn tail a crash mid-append leaves — are
+// dropped and counted, never trusted. disturb may be nil.
+func OpenJournal(path string, disturb Disturber) (*Journal, []Record, ReplayStats, error) {
+	var st ReplayStats
+	var recs []Record
+	if raw, err := os.ReadFile(path); err == nil {
+		recs, st = parseJournal(raw)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, st, fmt.Errorf("jobs: journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, st, fmt.Errorf("jobs: journal: %w", err)
+	}
+	return &Journal{path: path, f: f, disturb: disturb}, recs, st, nil
+}
+
+// parseJournal decodes journal bytes into intact records, counting and
+// skipping damage. Exposed shape-wise via OpenJournal and the fuzzer.
+func parseJournal(raw []byte) ([]Record, ReplayStats) {
+	var st ReplayStats
+	var recs []Record
+	sc := bufio.NewScanner(strings.NewReader(string(raw)))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		rec, ok := parseLine(sc.Text())
+		if !ok {
+			st.Damaged++
+			continue
+		}
+		recs = append(recs, rec)
+		st.Records++
+	}
+	if sc.Err() != nil {
+		// A line too long for the buffer is damage, not a parse result.
+		st.Damaged++
+	}
+	return recs, st
+}
+
+// parseLine validates one "pdtj1 <crc8> <json>" line.
+func parseLine(line string) (Record, bool) {
+	var rec Record
+	rest, ok := strings.CutPrefix(line, journalMagic+" ")
+	if !ok || len(rest) < 10 || rest[8] != ' ' {
+		return rec, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(rest[:8], "%08x", &want); err != nil {
+		return rec, false
+	}
+	payload := rest[9:]
+	if crc32.ChecksumIEEE([]byte(payload)) != want {
+		return rec, false
+	}
+	if err := json.Unmarshal([]byte(payload), &rec); err != nil {
+		return rec, false
+	}
+	if rec.Op == "" || rec.ID == "" {
+		return rec, false
+	}
+	return rec, true
+}
+
+// Append journals one record durably: marshal, CRC-frame, write,
+// fsync — the record is on the medium before Append returns. A torn
+// write (injected or real) persists its prefix and returns the error;
+// the caller must treat it as a crash, not retry it.
+func (j *Journal) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: journal: %w", err)
+	}
+	line := fmt.Sprintf("%s %08x %s\n", journalMagic, crc32.ChecksumIEEE(payload), payload)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.disabled {
+		return ErrJournalDisabled
+	}
+	if j.disturb != nil {
+		j.disturb.BeforeIO()
+		keep, ferr := j.disturb.WriteFault(len(line))
+		if ferr != nil {
+			if keep > 0 {
+				_, _ = j.f.WriteString(line[:keep])
+				_ = j.f.Sync()
+			}
+			j.errs++
+			return ferr
+		}
+	}
+	if _, err := j.f.WriteString(line); err != nil {
+		j.errs++
+		return fmt.Errorf("jobs: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.errs++
+		return fmt.Errorf("jobs: journal: %w", err)
+	}
+	j.appends++
+	return nil
+}
+
+// Disable makes every subsequent Append fail with ErrJournalDisabled.
+// The chaos harness calls it at a simulated kill point so no goroutine
+// of the "dead" process can keep writing.
+func (j *Journal) Disable() {
+	j.mu.Lock()
+	j.disabled = true
+	j.mu.Unlock()
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.disabled = true
+	return j.f.Close()
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
