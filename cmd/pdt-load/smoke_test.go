@@ -1,0 +1,118 @@
+//go:build smoke
+
+package main
+
+// End-to-end load smoke for `make loadtest-smoke`: builds the real
+// pdt-tad binary, starts a three-replica consistent-hash ring on
+// loopback, and drives it with the pdt-load replay loop in-process. The
+// committed budget (overridable via LOADTEST_P99) gates tail latency;
+// any 5xx or transport error fails outright.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// pickPorts reserves n distinct loopback ports by binding and releasing
+// them; the tiny reuse race is acceptable for a smoke test.
+func pickPorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+func TestSmokeLoadRing(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "pdt-tad")
+	build := exec.Command("go", "build", "-o", bin, "../pdt-tad")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building pdt-tad: %v", err)
+	}
+
+	addrs := pickPorts(t, 3)
+	names := []string{"a", "b", "c"}
+	var peers []string
+	for i, name := range names {
+		peers = append(peers, fmt.Sprintf("%s=http://%s", name, addrs[i]))
+	}
+	peersSpec := strings.Join(peers, ",")
+
+	var targets []string
+	for i, name := range names {
+		cmd := exec.Command(bin,
+			"-addr", addrs[i],
+			"-self", name,
+			"-peers", peersSpec,
+			"-max-concurrent", "4",
+			"-max-queue", "32",
+			"-drain", "5s")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = io.Discard
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+		lines := bufio.NewScanner(stdout)
+		if !lines.Scan() {
+			t.Fatalf("replica %s: no startup line", name)
+		}
+		line := lines.Text()
+		const prefix = "pdt-tad: listening on "
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("replica %s: unexpected startup line %q", name, line)
+		}
+		go io.Copy(io.Discard, stdout)
+		targets = append(targets, "http://"+strings.TrimPrefix(line, prefix))
+	}
+
+	budget := os.Getenv("LOADTEST_P99")
+	if budget == "" {
+		budget = "2s"
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-targets", strings.Join(targets, ","),
+		"-workloads", "julia,matmul,stream",
+		"-kinds", "summary,profile",
+		"-requests", "90",
+		"-concurrency", "6",
+		"-p99-budget", budget,
+		"-timeout", "30s",
+	}, &out)
+	t.Logf("pdt-load summary:\n%s", out.Bytes())
+	if err != nil {
+		t.Fatalf("load run failed: %v", err)
+	}
+
+	s := decode(t, &out)
+	if s.OK+s.Shed != 90 || s.Failures != 0 {
+		t.Fatalf("summary = %+v, want 90 answered, 0 failures", s)
+	}
+	if s.OK == 0 {
+		t.Fatal("every request was shed; ring never did any work")
+	}
+}

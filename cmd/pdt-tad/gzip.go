@@ -1,0 +1,132 @@
+package main
+
+// gzip transport. Uploads may arrive Content-Encoding: gzip (trace
+// images compress well — they are mostly deltas and zeros) and JSON
+// responses are compressed when the client's Accept-Encoding allows it.
+// The body cap applies on both sides of the decompressor: MaxBytesReader
+// bounds the wire bytes and the decompressed image is re-checked against
+// the same limit, so a small gzip bomb cannot smuggle an oversized trace
+// past admission control.
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// gzipPool recycles response compressors: a gzip.Writer carries the
+// full deflate state (~800 KiB), which would otherwise be reallocated
+// on every compressed response.
+var gzipPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
+// readBody reads one request body under the configured cap,
+// transparently decompressing gzip uploads. All failures come back as
+// *statusError so both the analysis stack and the job endpoint map them
+// the same way.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body := io.Reader(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	if enc := r.Header.Get("Content-Encoding"); enc != "" {
+		if !strings.EqualFold(enc, "gzip") {
+			return nil, &statusError{
+				status: http.StatusUnsupportedMediaType,
+				err:    fmt.Errorf("unsupported Content-Encoding %q", enc),
+			}
+		}
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			return nil, &statusError{
+				status: http.StatusBadRequest,
+				err:    fmt.Errorf("gzip body: %w", err),
+			}
+		}
+		defer zr.Close()
+		// One byte past the cap is enough to prove the overflow without
+		// inflating the whole bomb.
+		body = io.LimitReader(zr, s.cfg.maxBody+1)
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, &statusError{status: http.StatusRequestEntityTooLarge, err: err}
+		}
+		return nil, &statusError{
+			status: http.StatusBadRequest,
+			err:    fmt.Errorf("reading body: %w", err),
+		}
+	}
+	if int64(len(data)) > s.cfg.maxBody {
+		return nil, &statusError{
+			status: http.StatusRequestEntityTooLarge,
+			err:    fmt.Errorf("decompressed body exceeds %d bytes", s.cfg.maxBody),
+		}
+	}
+	return data, nil
+}
+
+// gzipResponses negotiates response compression: when the client
+// accepts gzip, application/json bodies are compressed. The cluster
+// peer frames (application/octet-stream) pass through untouched so
+// their CRC covers exactly the bytes on the wire.
+func gzipResponses(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Add("Vary", "Accept-Encoding")
+		if !strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		gw := &gzipWriter{ResponseWriter: w}
+		defer gw.close()
+		next.ServeHTTP(gw, r)
+	})
+}
+
+// gzipWriter decides on the first write (when Content-Type is known)
+// whether to compress, so non-JSON responses keep their exact bytes.
+type gzipWriter struct {
+	http.ResponseWriter
+	zw      *gzip.Writer
+	decided bool
+}
+
+func (g *gzipWriter) decide() {
+	if g.decided {
+		return
+	}
+	g.decided = true
+	if strings.HasPrefix(g.Header().Get("Content-Type"), "application/json") {
+		g.Header().Set("Content-Encoding", "gzip")
+		g.Header().Del("Content-Length")
+		g.zw = gzipPool.Get().(*gzip.Writer)
+		g.zw.Reset(g.ResponseWriter)
+	}
+}
+
+func (g *gzipWriter) WriteHeader(code int) {
+	g.decide()
+	g.ResponseWriter.WriteHeader(code)
+}
+
+func (g *gzipWriter) Write(p []byte) (int, error) {
+	g.decide()
+	if g.zw != nil {
+		return g.zw.Write(p)
+	}
+	return g.ResponseWriter.Write(p)
+}
+
+// close flushes the compressor and returns it to the pool; a response
+// that never wrote stays empty.
+func (g *gzipWriter) close() {
+	if g.zw != nil {
+		_ = g.zw.Close()
+		gzipPool.Put(g.zw)
+		g.zw = nil
+	}
+}

@@ -38,6 +38,9 @@ func (s *server) setupState() error {
 		s.chaos = plan
 		s.log.Warn("chaos plan armed", "plan", plan.String())
 	}
+	if err := s.setupCluster(); err != nil {
+		return err
+	}
 	if s.cfg.stateDir == "" {
 		return nil
 	}
@@ -82,7 +85,14 @@ func (s *server) setupState() error {
 				ctx, cancel = context.WithTimeout(ctx, s.cfg.requestTimeout)
 				defer cancel()
 			}
-			return s.cache.Artifact(ctx, image, kind, s.cfg.limits)
+			// Through the cluster-aware path: a job executing on a
+			// non-owner replica peeks the owner's cache like a
+			// synchronous request would.
+			var buf bytes.Buffer
+			err := s.artifact(ctx, kind, image, &buf, func() error {
+				return errors.New("jobs require the cache")
+			})
+			return buf.Bytes(), err
 		},
 		Notify: notifyWebhook,
 		Release: func(key string) {
@@ -188,14 +198,14 @@ func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		s.runSync(w, r, kind, nil)
 		return
 	}
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	data, err := s.readBody(w, r)
 	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, err)
+		var se *statusError
+		if errors.As(err, &se) {
+			s.writeError(w, se.status, se.err)
 			return
 		}
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	key := cache.KeyOf(data)
@@ -236,9 +246,12 @@ func (s *server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 func (s *server) runSync(w http.ResponseWriter, r *http.Request, kind string, data []byte) {
 	w.Header().Set("X-Pdt-Mode", "sync")
 	if data != nil {
+		// data is already decompressed; the replayed body must not claim
+		// the original Content-Encoding.
 		r = r.Clone(r.Context())
 		r.Body = io.NopCloser(bytes.NewReader(data))
 		r.ContentLength = int64(len(data))
+		r.Header.Del("Content-Encoding")
 	}
 	s.analysis(kind, s.renderFor(kind)).ServeHTTP(w, r)
 }

@@ -12,6 +12,15 @@
 // rehydrated on boot) and the async job API becomes durable: accepted
 // jobs are journaled and replayed after a crash.
 //
+// With -peers and -self the daemon joins a consistent-hash replica
+// ring: each trace key has an owner replica, local misses peek the
+// owner's cache before recomputing, and every peer call runs behind
+// timeouts, retries with jittered backoff, and per-peer circuit
+// breakers. An unreachable owner degrades to local computation
+// (X-Pdt-Cluster: degraded), never an error. Uploads may be sent
+// Content-Encoding: gzip and JSON responses are gzip-compressed when
+// the client accepts it.
+//
 // Endpoints:
 //
 //	POST /v1/summary  trace body -> summary JSON (pdt-ta json)
@@ -23,7 +32,8 @@
 //	POST /v1/jobs     trace body + ?kind= -> 202 + job id (or sync 200)
 //	GET  /v1/jobs/{id}         job document JSON
 //	GET  /v1/jobs/{id}/result  completed job's artifact JSON
-//	GET  /v1/stats    cache/disk/jobs counters
+//	GET  /v1/cluster/artifact/{key}/{kind}  peer cache peek (CRC-framed)
+//	GET  /v1/stats    cache/disk/jobs/cluster counters
 //	GET  /healthz     liveness probe
 //	GET  /readyz      readiness probe (503 draining, "degraded" body
 //	                  when the durable tier is down)
@@ -81,7 +91,15 @@ func run(args []string, stdout io.Writer, logw io.Writer, ready chan<- net.Addr)
 		jobTries   = fs.Int("job-attempts", def.jobAttempts, "per-job attempt budget before it fails terminally")
 		jobBackoff = fs.Duration("job-backoff", def.jobBackoff, "base retry backoff between job attempts")
 		jobBackCap = fs.Duration("job-backoff-cap", def.jobBackoffCap, "ceiling on the exponential job retry backoff")
-		chaosSpec  = fs.String("chaos", "", "fault-injection plan for the durable tier (e.g. diskfull:3,killphase:render) — test harness only")
+		chaosSpec  = fs.String("chaos", "", "fault-injection plan for the durable tier and peer transport (e.g. diskfull:3,netdrop:b:2) — test harness only")
+		peersSpec  = fs.String("peers", "", "comma-separated name=URL replica list enabling cluster mode (e.g. a=http://h1:8329,b=http://h2:8329)")
+		selfName   = fs.String("self", "", "this replica's name in -peers")
+		peerTime   = fs.Duration("peer-timeout", def.peerTimeout, "deadline for one peer cache-peek call")
+		peerTries  = fs.Int("peer-attempts", def.peerAttempts, "call budget per peer fetch, first try included")
+		peerBack   = fs.Duration("peer-backoff", def.peerBackoff, "base retry backoff between peer call attempts")
+		peerBackC  = fs.Duration("peer-backoff-cap", def.peerBackoffCap, "ceiling on the peer retry backoff")
+		brkThresh  = fs.Int("peer-breaker-threshold", def.peerBreakerThreshold, "consecutive failures that open a peer's circuit breaker")
+		brkCool    = fs.Duration("peer-breaker-cooldown", def.peerBreakerCooldown, "open breaker cooldown before a half-open probe")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +124,14 @@ func run(args []string, stdout io.Writer, logw io.Writer, ready chan<- net.Addr)
 	cfg.jobBackoff = *jobBackoff
 	cfg.jobBackoffCap = *jobBackCap
 	cfg.chaosSpec = *chaosSpec
+	cfg.peersSpec = *peersSpec
+	cfg.selfName = *selfName
+	cfg.peerTimeout = *peerTime
+	cfg.peerAttempts = *peerTries
+	cfg.peerBackoff = *peerBack
+	cfg.peerBackoffCap = *peerBackC
+	cfg.peerBreakerThreshold = *brkThresh
+	cfg.peerBreakerCooldown = *brkCool
 	// The body cap is the outer wall; keep the analyzer's file limit in
 	// step so admission control agrees with the HTTP layer.
 	cfg.limits.MaxFileBytes = cfg.maxBody

@@ -16,6 +16,7 @@ import (
 
 	"github.com/celltrace/pdt/internal/analyzer"
 	"github.com/celltrace/pdt/internal/analyzer/cache"
+	"github.com/celltrace/pdt/internal/cluster"
 	"github.com/celltrace/pdt/internal/faults"
 	"github.com/celltrace/pdt/internal/jobs"
 )
@@ -57,8 +58,25 @@ type config struct {
 	jobBackoff    time.Duration
 	jobBackoffCap time.Duration
 	// chaosSpec is a faults.ParseService plan injected into the disk
-	// tier, the journal, and the job phase hooks (test harness only).
+	// tier, the journal, the job phase hooks, and the peer transport
+	// (test harness only).
 	chaosSpec string
+	// peersSpec/selfName enable cluster mode: a comma-separated
+	// name=URL replica list and this replica's name in it. Empty =
+	// single-node.
+	peersSpec string
+	selfName  string
+	// peerTimeout/peerAttempts/peerBackoff/peerBackoffCap bound one peer
+	// fetch: per-call deadline, call budget, and the jittered capped
+	// exponential backoff between attempts.
+	peerTimeout    time.Duration
+	peerAttempts   int
+	peerBackoff    time.Duration
+	peerBackoffCap time.Duration
+	// peerBreakerThreshold consecutive failures open a peer's circuit
+	// breaker; peerBreakerCooldown is the open → half-open delay.
+	peerBreakerThreshold int
+	peerBreakerCooldown  time.Duration
 }
 
 func defaultConfig() config {
@@ -76,6 +94,13 @@ func defaultConfig() config {
 		jobAttempts:    3,
 		jobBackoff:     250 * time.Millisecond,
 		jobBackoffCap:  5 * time.Second,
+
+		peerTimeout:          time.Second,
+		peerAttempts:         2,
+		peerBackoff:          25 * time.Millisecond,
+		peerBackoffCap:       250 * time.Millisecond,
+		peerBreakerThreshold: 3,
+		peerBreakerCooldown:  2 * time.Second,
 	}
 }
 
@@ -98,6 +123,11 @@ type server struct {
 	journal *jobs.Journal
 	// chaos is the parsed fault-injection plan; nil without -chaos.
 	chaos *faults.ServicePlan
+	// cluster is the consistent-hash ring client; nil without -peers.
+	// clusterFallbacks counts requests computed locally because the
+	// key's owner replica was unreachable.
+	cluster          *cluster.Client
+	clusterFallbacks atomic.Uint64
 	// avgNanos is an EWMA of recent analysis durations, feeding the
 	// derived Retry-After on 429/504 responses.
 	avgNanos atomic.Int64
@@ -166,7 +196,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
-	return s.logRequests(s.recoverPanics(mux))
+	mux.HandleFunc("GET /v1/cluster/artifact/{key}/{kind}", s.handleClusterArtifact)
+	return s.logRequests(s.recoverPanics(gzipResponses(mux)))
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -193,8 +224,10 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// degradedReason reports why the durable tier is unavailable ("" = it
-// is healthy or was never configured).
+// degradedReason reports why a durable or distributed tier is
+// unavailable ("" = everything is healthy or was never configured).
+// Degraded is informational, not a readiness failure: the synchronous
+// local path still serves every request.
 func (s *server) degradedReason() string {
 	if s.jobs != nil && s.jobs.Crashed() {
 		return "job manager stopped"
@@ -202,6 +235,11 @@ func (s *server) degradedReason() string {
 	if s.cache != nil && s.cache.Disk() != nil {
 		if deg, errText := s.cache.Disk().Degraded(); deg {
 			return "disk tier: " + errText
+		}
+	}
+	if s.cluster != nil {
+		if deg, reason := s.cluster.Degraded(); deg {
+			return reason
 		}
 	}
 	return ""
@@ -277,12 +315,29 @@ func (s *server) loadShared(ctx context.Context, data []byte) (*analyzer.Trace, 
 	return tr, nil, nil
 }
 
-// artifact serves one analysis kind through the tiered cache — memory
-// memo, then CRC-verified disk tier, then recompute with write-through —
-// falling back to direct computation when the cache is disabled.
+// artifact serves one analysis kind through all the tiers — local
+// memory memo, CRC-verified disk tier, then (in cluster mode) a peek at
+// the key's owner replica, then recompute with write-through — falling
+// back to direct computation when the cache is disabled. Remote fetches
+// are adopted into the local tiers so the next request for the same
+// bytes stays on this box.
 func (s *server) artifact(ctx context.Context, kind string, data []byte, w io.Writer, direct func() error) error {
 	if s.cache == nil {
 		return direct()
+	}
+	key := cache.KeyOf(data)
+	if b, ok := s.cache.Peek(key, kind); ok {
+		if s.cluster != nil {
+			s.noteCluster(ctx, "local")
+		}
+		_, err := w.Write(b)
+		return err
+	}
+	if s.cluster != nil {
+		if b, ok := s.clusterFetch(ctx, key, kind); ok {
+			_, err := w.Write(b)
+			return err
+		}
 	}
 	b, err := s.cache.Artifact(ctx, data, kind, s.cfg.limits)
 	if err != nil {
@@ -359,10 +414,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CapacityEntries int    `json:"capacityEntries"`
 	}
 	out := struct {
-		Cache cacheStats       `json:"cache"`
-		Disk  *cache.DiskStats `json:"disk,omitempty"`
-		Jobs  *jobs.Stats      `json:"jobs,omitempty"`
+		Cache   cacheStats       `json:"cache"`
+		Disk    *cache.DiskStats `json:"disk,omitempty"`
+		Jobs    *jobs.Stats      `json:"jobs,omitempty"`
+		Cluster *clusterStats    `json:"cluster,omitempty"`
 	}{}
+	out.Cluster = s.clusterStatsSnapshot()
 	if s.cache != nil {
 		st := s.cache.Stats()
 		out.Cache = cacheStats{
@@ -418,15 +475,20 @@ func (s *server) analysis(name string, render renderFunc) http.Handler {
 		if s.analysisHook != nil {
 			s.analysisHook()
 		}
-		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+		data, err := s.readBody(w, r)
 		if err != nil {
-			var mbe *http.MaxBytesError
-			if errors.As(err, &mbe) {
-				s.writeError(w, http.StatusRequestEntityTooLarge, err)
+			var se *statusError
+			if errors.As(err, &se) {
+				s.writeError(w, se.status, se.err)
 				return
 			}
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+			s.writeError(w, http.StatusBadRequest, err)
 			return
+		}
+		var note *clusterNote
+		if s.cluster != nil {
+			note = &clusterNote{}
+			ctx = context.WithValue(ctx, clusterNoteKey{}, note)
 		}
 		var buf bytes.Buffer
 		if err := render(ctx, r, data, &buf); err != nil {
@@ -452,6 +514,9 @@ func (s *server) analysis(name string, render renderFunc) http.Handler {
 					fmt.Errorf("%s: %w", name, err))
 			}
 			return
+		}
+		if note != nil && note.v != "" {
+			w.Header().Set("X-Pdt-Cluster", note.v)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))

@@ -549,3 +549,68 @@ func TestFlagParsing(t *testing.T) {
 		t.Fatal("unlistenable address accepted")
 	}
 }
+
+// TestRetryAfterClampBounds pins the EWMA-derived Retry-After estimate
+// to its contract: never below 1s, never above 60s, and the honest
+// backlog-drain estimate in between.
+func TestRetryAfterClampBounds(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.maxConcurrent = 4
+	s := newServer(cfg, quietLogger())
+
+	// No observations yet: the 500ms prior over an empty backlog rounds
+	// up to the 1s floor.
+	if got := s.retryAfter(); got != "1" {
+		t.Fatalf("cold retryAfter = %q, want 1", got)
+	}
+
+	// An absurd average must clamp at the 60s ceiling, not leak a
+	// multi-minute hint that parks clients forever.
+	s.avgNanos.Store(int64(10 * time.Minute))
+	if got := s.retryAfter(); got != "60" {
+		t.Fatalf("huge-average retryAfter = %q, want 60", got)
+	}
+
+	// Mid-range: 8s average, empty backlog (=1), 4 slots → ceil(2s) = 2.
+	s.avgNanos.Store(int64(8 * time.Second))
+	if got := s.retryAfter(); got != "2" {
+		t.Fatalf("mid-range retryAfter = %q, want 2", got)
+	}
+
+	// A busier backlog stretches the estimate: three held slots plus the
+	// caller = 4 drain turns at 8s/4 slots each → 8s.
+	for i := 0; i < 3; i++ {
+		s.slots <- struct{}{}
+	}
+	if got := s.retryAfter(); got != "8" {
+		t.Fatalf("backlogged retryAfter = %q, want 8", got)
+	}
+
+	// A negative (corrupt) average falls back to the prior, not panic
+	// or zero.
+	s.avgNanos.Store(-1)
+	for i := 0; i < 3; i++ {
+		<-s.slots
+	}
+	if got := s.retryAfter(); got != "1" {
+		t.Fatalf("negative-average retryAfter = %q, want 1", got)
+	}
+}
+
+// TestObserveEWMA pins the averaging rule retryAfter builds on: first
+// sample seeds the average, later samples move it by 1/8 of the gap.
+func TestObserveEWMA(t *testing.T) {
+	s := newServer(defaultConfig(), quietLogger())
+	s.observe(800 * time.Millisecond)
+	if got := time.Duration(s.avgNanos.Load()); got != 800*time.Millisecond {
+		t.Fatalf("first observation = %v, want 800ms", got)
+	}
+	s.observe(1600 * time.Millisecond)
+	if got := time.Duration(s.avgNanos.Load()); got != 900*time.Millisecond {
+		t.Fatalf("after second observation = %v, want 900ms (800 + 800/8)", got)
+	}
+	s.observe(100 * time.Millisecond)
+	if got := time.Duration(s.avgNanos.Load()); got != 800*time.Millisecond {
+		t.Fatalf("after downward observation = %v, want 800ms (900 - 800/8)", got)
+	}
+}

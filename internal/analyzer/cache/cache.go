@@ -111,6 +111,11 @@ type entry struct {
 	weight int64
 	trace  *flight
 	doctor *flight
+	// adopted holds artifact bytes installed from a peer replica for a
+	// key no local flight has loaded (the replica has the artifact but
+	// never saw the trace bytes). A later local load supersedes it via
+	// the flight memo; LRU eviction applies to it like any other weight.
+	adopted map[string][]byte
 }
 
 // inFlight reports whether any of the entry's loads is still running;
@@ -386,22 +391,58 @@ func (c *Cache) Artifact(ctx context.Context, data []byte, kind string, lim anal
 	return b, nil
 }
 
+// Peek returns the rendered artifact for a key from the fastest tier
+// that already holds it — the memory memo, then the disk tier — and
+// never computes. It is the cluster peer-peek read path: a replica asks
+// the key's owner "do you have this?", and a cold owner must answer
+// cheaply instead of analyzing a trace it does not even have the bytes
+// for.
+func (c *Cache) Peek(key Key, kind string) ([]byte, bool) {
+	if b, ok := c.peekArtifact(key, kind); ok {
+		return b, true
+	}
+	if c.disk != nil {
+		if b, ok := c.disk.Get(key, kind); ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// AdoptArtifact installs externally produced artifact bytes (fetched
+// from the key's owner replica) into the local tiers: memoized onto the
+// entry if one is settled, and written through to the disk tier. The
+// bytes must be the canonical rendering for the key — in cluster mode
+// both sides derive them deterministically from the same trace image.
+func (c *Cache) AdoptArtifact(key Key, kind string, b []byte) []byte {
+	return c.adoptArtifact(key, kind, b)
+}
+
 // peekArtifact serves the memory tier's memoized artifact bytes without
 // triggering a load. A hit counts as a cache hit and refreshes LRU.
 func (c *Cache) peekArtifact(key Key, kind string) ([]byte, bool) {
 	c.mu.Lock()
 	e := c.entries[key]
-	var f *flight
-	if e != nil {
-		if kind == KindDoctor {
-			f = e.doctor
-		} else {
-			f = e.trace
-		}
-	}
-	if f == nil || !f.settled || f.err != nil {
+	if e == nil {
 		c.mu.Unlock()
 		return nil, false
+	}
+	var f *flight
+	if kind == KindDoctor {
+		f = e.doctor
+	} else {
+		f = e.trace
+	}
+	adopted := e.adopted[kind]
+	if f == nil || !f.settled || f.err != nil {
+		if adopted == nil {
+			c.mu.Unlock()
+			return nil, false
+		}
+		c.ll.MoveToFront(e.elem)
+		c.hits++
+		c.mu.Unlock()
+		return adopted, true
 	}
 	c.ll.MoveToFront(e.elem)
 	c.mu.Unlock()
@@ -409,7 +450,12 @@ func (c *Cache) peekArtifact(key Key, kind string) ([]byte, bool) {
 	b := f.arts[kind]
 	f.memoMu.Unlock()
 	if b == nil {
-		return nil, false
+		// A local flight that never rendered this kind does not hide
+		// bytes adopted from a peer earlier.
+		if adopted == nil {
+			return nil, false
+		}
+		b = adopted
 	}
 	c.mu.Lock()
 	c.hits++
@@ -433,8 +479,10 @@ func storeArtifact(f *flight, kind string, b []byte) []byte {
 }
 
 // adoptArtifact memoizes rendered bytes onto whatever flight currently
-// holds the key (if any — it may have been evicted) and spills them to
-// the disk tier.
+// holds the key or, when no settled flight exists, retains them on the
+// entry directly (bounded by the normal LRU accounting) — a memory-only
+// replica must not re-fetch what it just got — and spills them to the
+// disk tier.
 func (c *Cache) adoptArtifact(key Key, kind string, b []byte) []byte {
 	c.mu.Lock()
 	e := c.entries[key]
@@ -446,9 +494,28 @@ func (c *Cache) adoptArtifact(key Key, kind string, b []byte) []byte {
 			f = e.trace
 		}
 	}
-	c.mu.Unlock()
 	if f != nil && f.settled && f.err == nil {
+		c.mu.Unlock()
 		b = storeArtifact(f, kind, b)
+	} else {
+		if e == nil {
+			e = &entry{key: key}
+			e.elem = c.ll.PushFront(e)
+			c.entries[key] = e
+		}
+		if prev := e.adopted[kind]; prev != nil {
+			b = prev
+		} else {
+			if e.adopted == nil {
+				e.adopted = map[string][]byte{}
+			}
+			e.adopted[kind] = b
+			e.weight += int64(len(b))
+			c.bytes += int64(len(b))
+		}
+		c.ll.MoveToFront(e.elem)
+		c.evict(e)
+		c.mu.Unlock()
 	}
 	if c.disk != nil {
 		_ = c.disk.Put(key, kind, b)
@@ -523,7 +590,7 @@ func (c *Cache) settle(key Key, f *flight, doctor bool) {
 			} else if !doctor && e.trace == f {
 				e.trace = nil
 			}
-			if e.trace == nil && e.doctor == nil {
+			if e.trace == nil && e.doctor == nil && len(e.adopted) == 0 {
 				c.ll.Remove(e.elem)
 				delete(c.entries, key)
 			}

@@ -265,3 +265,92 @@ func TestChurnMixedTracesNoBleed(t *testing.T) {
 		t.Fatalf("stats %+v: churn should both hit and evict", st)
 	}
 }
+
+func TestPeekNeverComputes(t *testing.T) {
+	ctx := context.Background()
+	c := cache.New(0, 0)
+	img := traceImage(t, 200)
+	key := cache.KeyOf(img)
+
+	// Cold cache: a peek answers "no" without loading anything.
+	if _, ok := c.Peek(key, cache.KindSummary); ok {
+		t.Fatal("cold peek claimed a hit")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 0 {
+		t.Fatalf("peek left tracks: %+v", st)
+	}
+
+	want, err := c.Artifact(ctx, img, cache.KindSummary, analyzer.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Peek(key, cache.KindSummary)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("warm peek ok=%v", ok)
+	}
+	// The artifact kind matters: only summary was rendered.
+	if _, ok := c.Peek(key, cache.KindProfile); ok {
+		t.Fatal("peek invented an unrendered kind")
+	}
+}
+
+func TestAdoptArtifactWithoutLocalFlight(t *testing.T) {
+	// A memory-only replica adopting a peer-fetched artifact for a trace
+	// it never loaded must retain (and serve) it.
+	c := cache.New(0, 0)
+	key := cache.KeyOf([]byte("trace bytes this replica never saw"))
+	art := []byte(`{"adopted":true}`)
+
+	c.AdoptArtifact(key, cache.KindSummary, art)
+	got, ok := c.Peek(key, cache.KindSummary)
+	if !ok || !bytes.Equal(got, art) {
+		t.Fatalf("adopted artifact not peekable: ok=%v", ok)
+	}
+	// First adoption wins, like the flight memo.
+	kept := c.AdoptArtifact(key, cache.KindSummary, []byte(`{"other":1}`))
+	if !bytes.Equal(kept, art) {
+		t.Fatal("second adoption replaced the first")
+	}
+	if st := c.Stats(); st.Bytes != int64(len(art)) {
+		t.Fatalf("adopted bytes not accounted: %+v", st)
+	}
+}
+
+func TestAdoptedEntriesEvict(t *testing.T) {
+	c := cache.New(2, 0)
+	for i := 0; i < 5; i++ {
+		key := cache.KeyOf([]byte(fmt.Sprintf("trace %d", i)))
+		c.AdoptArtifact(key, cache.KindSummary, []byte(fmt.Sprintf(`{"i":%d}`, i)))
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 3 {
+		t.Fatalf("entries=%d evictions=%d, want 2/3", st.Entries, st.Evictions)
+	}
+	// The newest adoption survives LRU.
+	if _, ok := c.Peek(cache.KeyOf([]byte("trace 4")), cache.KindSummary); !ok {
+		t.Fatal("most recent adoption evicted")
+	}
+}
+
+func TestAdoptedBytesSurviveLocalLoad(t *testing.T) {
+	ctx := context.Background()
+	c := cache.New(0, 0)
+	img := traceImage(t, 150)
+	key := cache.KeyOf(img)
+
+	adopted := []byte(`{"from":"peer"}`)
+	c.AdoptArtifact(key, cache.KindSummary, adopted)
+	// A later local load settles a flight for the same key without
+	// rendering the summary; the adopted bytes must stay visible.
+	if _, err := c.Load(ctx, img, analyzer.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Peek(key, cache.KindSummary)
+	if !ok || !bytes.Equal(got, adopted) {
+		t.Fatalf("adopted bytes hidden by the local flight: ok=%v", ok)
+	}
+	// A kind the adoption never covered still renders locally.
+	if _, err := c.Artifact(ctx, img, cache.KindProfile, analyzer.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// StateClosed: calls flow normally; consecutive failures are counted.
+	StateClosed BreakerState = iota
+	// StateOpen: calls are refused without touching the network until
+	// the cooldown elapses.
+	StateOpen
+	// StateHalfOpen: the cooldown elapsed; exactly one probe call is let
+	// through. Success re-closes the breaker, failure re-opens it.
+	StateHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-peer circuit breaker: closed → open after Threshold
+// consecutive failures, open → half-open after Cooldown, half-open →
+// closed on a successful probe (or back to open on a failed one).
+// Refusing calls while open is what keeps a partitioned peer from
+// stalling every request for its keys behind timeouts.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test seam; time.Now by default
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int // consecutive failures
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	opens    uint64
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures and probes again after cooldown. threshold <= 0 means 3;
+// cooldown <= 0 means one second.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a call may proceed right now. While open it
+// returns false until the cooldown elapses, then admits exactly one
+// half-open probe at a time; the caller must report the outcome via
+// Record or the breaker releases the probe slot on the next Allow after
+// another cooldown.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		return true
+	default: // StateHalfOpen
+		if b.probing {
+			// A probe is already out; refuse concurrent traffic rather
+			// than flooding a peer that may still be down. If the probe's
+			// outcome was lost (caller died), re-admit after a cooldown.
+			if b.now().Sub(b.openedAt) >= 2*b.cooldown {
+				b.openedAt = b.now().Add(-b.cooldown)
+				return true
+			}
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports a call outcome. Success always fully closes the
+// breaker; failure counts toward the threshold (and immediately
+// re-opens a half-open breaker).
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.state = StateClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == StateHalfOpen || (b.state == StateClosed && b.fails >= b.threshold) {
+		b.state = StateOpen
+		b.openedAt = b.now()
+		b.opens++
+	}
+}
+
+// State snapshots the current position, applying the open → half-open
+// transition lazily so observers see "half-open" once the cooldown has
+// elapsed even if no call has probed yet.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return StateHalfOpen
+	}
+	return b.state
+}
+
+// Snapshot reports (state, consecutive failures, cumulative opens).
+func (b *Breaker) Snapshot() (BreakerState, int, uint64) {
+	st := b.State()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return st, b.fails, b.opens
+}

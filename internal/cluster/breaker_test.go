@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Record(false)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state after 2 failures: %v", b.State())
+	}
+	b.Allow()
+	b.Record(false) // third consecutive failure
+	if b.State() != StateOpen {
+		t.Fatalf("state after threshold: %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsTheCount(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	b.Record(false)
+	b.Record(false)
+	b.Record(true) // interleaved success: not consecutive anymore
+	b.Record(false)
+	b.Record(false)
+	if b.State() != StateClosed {
+		t.Fatalf("non-consecutive failures opened the breaker: %v", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.Allow()
+	b.Record(false)
+	if b.State() != StateOpen {
+		t.Fatal("not open")
+	}
+	clk.advance(time.Second)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state after cooldown: %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.Record(false) // probe failed: re-open
+	if b.State() != StateOpen {
+		t.Fatalf("state after failed probe: %v", b.State())
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("re-probe refused")
+	}
+	b.Record(true) // probe succeeded: close
+	if b.State() != StateClosed {
+		t.Fatalf("state after good probe: %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+	_, fails, opens := b.Snapshot()
+	if fails != 0 || opens != 2 {
+		t.Fatalf("snapshot fails=%d opens=%d, want 0/2", fails, opens)
+	}
+}
+
+func TestBreakerLostProbeRecovers(t *testing.T) {
+	// If a probe's outcome never arrives (its caller died), the breaker
+	// must not stay stuck refusing traffic forever.
+	b, clk := testBreaker(1, time.Second)
+	b.Record(false)
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	// Probe outcome lost. After another cooldown a new probe is let in.
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker stuck after a lost probe")
+	}
+}
+
+func TestBreakerConcurrencySafe(t *testing.T) {
+	b := NewBreaker(5, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < 500; n++ {
+				if b.Allow() {
+					b.Record(n%3 == 0)
+				}
+				b.State()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testCluster builds a 2-member cluster where "remote" is served by the
+// given handler and "self" is this test.
+func testCluster(t *testing.T, handler http.Handler, mut func(*Config)) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	cfg := Config{
+		Self:        "self",
+		Peers:       map[string]string{"self": "http://unused", "remote": ts.URL},
+		Timeout:     2 * time.Second,
+		Attempts:    2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ts
+}
+
+func TestClientFetchHit(t *testing.T) {
+	want := []byte(`{"ok":true}`)
+	c, _ := testCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/cluster/artifact/") {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		_, _ = w.Write(EncodeFrame(want))
+	}), nil)
+	got, err := c.FetchArtifact(context.Background(), "remote", keyN(1), "summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("payload %q", got)
+	}
+	st := c.Status()
+	if len(st) != 1 || st[0].Hits != 1 || st[0].Breaker != "closed" {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestClientMissIsCleanNotAFailure(t *testing.T) {
+	c, _ := testCluster(t, http.NotFoundHandler(), nil)
+	_, err := c.FetchArtifact(context.Background(), "remote", keyN(1), "summary")
+	if !errors.Is(err, ErrNotCached) {
+		t.Fatalf("err = %v", err)
+	}
+	st := c.Status()[0]
+	if st.Misses != 1 || st.Failures != 0 || st.ConsecutiveFailures != 0 {
+		t.Fatalf("a 404 miss was scored as a failure: %+v", st)
+	}
+}
+
+func TestClientRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	want := []byte("second time lucky")
+	c, _ := testCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(EncodeFrame(want))
+	}), nil)
+	got, err := c.FetchArtifact(context.Background(), "remote", keyN(2), "profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) || calls.Load() != 2 {
+		t.Fatalf("got %q after %d calls", got, calls.Load())
+	}
+	// The success must have reset the consecutive-failure count.
+	if st := c.Status()[0]; st.ConsecutiveFailures != 0 || st.Failures != 1 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestClientBreakerOpensAndRefuses(t *testing.T) {
+	var calls atomic.Int32
+	c, _ := testCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+	}), func(cfg *Config) {
+		cfg.Attempts = 3
+		cfg.BreakerThreshold = 3
+		cfg.BreakerCooldown = time.Hour
+	})
+	if _, err := c.FetchArtifact(context.Background(), "remote", keyN(3), "summary"); err == nil {
+		t.Fatal("want failure")
+	}
+	after := calls.Load() // threshold hit inside the retry loop
+	if after != 3 {
+		t.Fatalf("calls before open: %d", after)
+	}
+	if deg, reason := c.Degraded(); !deg || !strings.Contains(reason, "remote") {
+		t.Fatalf("degraded = %v %q", deg, reason)
+	}
+	// Next fetch is refused without any network traffic.
+	_, err := c.FetchArtifact(context.Background(), "remote", keyN(4), "summary")
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != after {
+		t.Fatal("open breaker still hit the network")
+	}
+	if st := c.Status()[0]; st.Breaker != "open" || st.Refusals == 0 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestClientBreakerRecloses(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	c, _ := testCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		_, _ = w.Write(EncodeFrame([]byte("healed")))
+	}), func(cfg *Config) {
+		cfg.Attempts = 1
+		cfg.BreakerThreshold = 1
+		cfg.BreakerCooldown = 10 * time.Millisecond
+	})
+	if _, err := c.FetchArtifact(context.Background(), "remote", keyN(5), "summary"); err == nil {
+		t.Fatal("want failure")
+	}
+	if c.Breaker("remote").State() != StateOpen {
+		t.Fatal("breaker not open")
+	}
+	failing.Store(false)
+	time.Sleep(20 * time.Millisecond) // past the cooldown: half-open probe allowed
+	got, err := c.FetchArtifact(context.Background(), "remote", keyN(5), "summary")
+	if err != nil || string(got) != "healed" {
+		t.Fatalf("probe after heal: %v %q", err, got)
+	}
+	if c.Breaker("remote").State() != StateClosed {
+		t.Fatal("breaker did not re-close after a good probe")
+	}
+}
+
+func TestClientDamagedFrameIsAFailure(t *testing.T) {
+	c, _ := testCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enc := EncodeFrame([]byte("about to be mangled"))
+		enc[len(enc)-1] ^= 0xFF
+		_, _ = w.Write(enc)
+	}), func(cfg *Config) { cfg.Attempts = 1 })
+	_, err := c.FetchArtifact(context.Background(), "remote", keyN(6), "summary")
+	if err == nil || !errors.Is(err, ErrFrameCRC) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := c.Status()[0]; st.Failures != 1 {
+		t.Fatalf("damaged frame not scored as failure: %+v", st)
+	}
+}
+
+func TestClientTimeoutCountsAgainstThePeer(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	c, _ := testCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}), func(cfg *Config) {
+		cfg.Timeout = 30 * time.Millisecond
+		cfg.Attempts = 1
+	})
+	start := time.Now()
+	_, err := c.FetchArtifact(context.Background(), "remote", keyN(7), "summary")
+	if err == nil {
+		t.Fatal("want timeout")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timeout took %v", d)
+	}
+	if st := c.Status()[0]; st.Failures != 1 || st.ConsecutiveFailures != 1 {
+		t.Fatalf("timeout not scored: %+v", st)
+	}
+}
+
+func TestClientCallerCancellationDoesNotPunishPeer(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	c, _ := testCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}), func(cfg *Config) { cfg.Timeout = time.Hour })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := c.FetchArtifact(ctx, "remote", keyN(8), "summary")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := c.Status()[0]; st.ConsecutiveFailures != 0 {
+		t.Fatalf("caller cancellation blamed the peer: %+v", st)
+	}
+}
+
+func TestClientConfigValidation(t *testing.T) {
+	if _, err := New(Config{Self: "a", Peers: map[string]string{"b": "http://x"}}); err == nil {
+		t.Fatal("self outside the peer list accepted")
+	}
+	if _, err := New(Config{Peers: map[string]string{"b": "http://x"}}); err == nil {
+		t.Fatal("empty self accepted")
+	}
+	c, err := New(Config{Self: "a", Peers: map[string]string{"a": "http://x", "b": "http://y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchArtifact(context.Background(), "nope", keyN(0), "summary"); !errors.Is(err, ErrNoPeer) {
+		t.Fatalf("unknown peer: %v", err)
+	}
+	if c.Breaker("a") != nil {
+		t.Fatal("self has a breaker")
+	}
+	if got := c.Peers(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("peers %v", got)
+	}
+}
+
+func TestTargetPeerPlumbing(t *testing.T) {
+	seen := make(chan string, 1)
+	tr := roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		seen <- TargetPeer(r)
+		return nil, errors.New("synthetic transport error")
+	})
+	c, _ := testCluster(t, http.NotFoundHandler(), func(cfg *Config) {
+		cfg.Transport = tr
+		cfg.Attempts = 1
+	})
+	_, _ = c.FetchArtifact(context.Background(), "remote", keyN(9), "summary")
+	if got := <-seen; got != "remote" {
+		t.Fatalf("TargetPeer = %q", got)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The peer artifact protocol wraps every payload in a small integrity
+// envelope so a truncated or bit-flipped transfer is detected at the
+// receiver instead of being cached and served as a wrong answer:
+//
+//	"PDTP1" | crc32(payload) BE | len(payload) BE uint32 | payload
+//
+// The frame is deliberately tiny and self-contained — no streaming
+// state — because peer peeks are whole-artifact exchanges.
+
+// frameMagic identifies a peer protocol frame (and its version).
+const frameMagic = "PDTP1"
+
+// frameHeaderSize is magic + crc32 + length.
+const frameHeaderSize = len(frameMagic) + 4 + 4
+
+// MaxFramePayload caps a decoded payload; anything larger than the
+// service's own body cap is nonsense on arrival.
+const MaxFramePayload = 1 << 30
+
+// Frame decode errors.
+var (
+	ErrFrameMagic  = errors.New("cluster: bad frame magic")
+	ErrFrameLength = errors.New("cluster: frame length mismatch")
+	ErrFrameCRC    = errors.New("cluster: frame checksum mismatch")
+)
+
+// EncodeFrame wraps a payload in the peer protocol envelope.
+func EncodeFrame(payload []byte) []byte {
+	out := make([]byte, frameHeaderSize+len(payload))
+	copy(out, frameMagic)
+	binary.BigEndian.PutUint32(out[len(frameMagic):], crc32.ChecksumIEEE(payload))
+	binary.BigEndian.PutUint32(out[len(frameMagic)+4:], uint32(len(payload)))
+	copy(out[frameHeaderSize:], payload)
+	return out
+}
+
+// DecodeFrame unwraps one complete frame. The declared length must match
+// the bytes present exactly — a short read is a torn transfer, not a
+// prefix to trust — and the payload CRC must verify. The returned slice
+// aliases b.
+func DecodeFrame(b []byte) ([]byte, error) {
+	if len(b) < frameHeaderSize || string(b[:len(frameMagic)]) != frameMagic {
+		return nil, ErrFrameMagic
+	}
+	wantCRC := binary.BigEndian.Uint32(b[len(frameMagic):])
+	n := binary.BigEndian.Uint32(b[len(frameMagic)+4:])
+	if n > MaxFramePayload {
+		return nil, fmt.Errorf("%w: declared %d bytes", ErrFrameLength, n)
+	}
+	payload := b[frameHeaderSize:]
+	if uint32(len(payload)) != n {
+		return nil, fmt.Errorf("%w: declared %d, have %d", ErrFrameLength, n, len(payload))
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, ErrFrameCRC
+	}
+	return payload, nil
+}

@@ -1,0 +1,129 @@
+// Package cluster turns N pdt-tad replicas into a keyspace-sharding
+// ring: a consistent-hash ring (virtual nodes, rendezvous tiebreak)
+// maps every SHA-256 trace key to exactly one owner replica, and a
+// resilience layer — per-call timeouts, capped exponential backoff with
+// jitter, per-peer circuit breakers — wraps every cross-replica call so
+// a slow, partitioned, or dead peer degrades service instead of
+// breaking it. The package is transport-pluggable (http.RoundTripper
+// seam) so chaos harnesses can drop, delay, or partition peer traffic
+// deterministically.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Key is a trace content address: SHA-256 over the raw image, the same
+// keying the analysis cache uses. The ring places keys by their first 8
+// bytes, which are uniformly distributed by construction.
+type Key = [sha256.Size]byte
+
+// DefaultVNodes is the virtual-node count per peer. 64 points per peer
+// keeps the ownership imbalance across a handful of replicas within a
+// few percent without making lookup tables large.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over a static peer list.
+// Every replica builds its ring from the same -peers flag, so all
+// replicas agree on ownership without any coordination traffic.
+type Ring struct {
+	peers  []string // sorted peer names
+	vnodes int
+	points []point // sorted by hash, ascending
+}
+
+// point is one virtual node: a position on the 64-bit circle owned by a
+// peer.
+type point struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds the ring. vnodes <= 0 uses DefaultVNodes. Peer names
+// must be unique and non-empty.
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one peer")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	seen := map[string]bool{}
+	r := &Ring{peers: sorted, vnodes: vnodes}
+	for _, p := range sorted {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer name")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: vnodeHash(p, i), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// Peers returns the sorted peer names.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Owner maps a trace key to its owning peer: the successor virtual node
+// on the circle. When several peers' virtual nodes collide on that exact
+// position (possible, if vanishingly rare, with 64-bit points), the tie
+// is broken by rendezvous hashing — highest hash(key, peer) wins — so
+// every replica still agrees deterministically.
+func (r *Ring) Owner(key Key) string {
+	kh := binary.BigEndian.Uint64(key[:8])
+	// First point with hash > kh, wrapping to points[0].
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash > kh })
+	if i == len(r.points) {
+		i = 0
+	}
+	h := r.points[i].hash
+	// Collect the (usually single) run of points sharing the successor
+	// position; sort order groups equal hashes together.
+	end := i
+	for end+1 < len(r.points) && r.points[end+1].hash == h {
+		end++
+	}
+	if end == i {
+		return r.points[i].peer
+	}
+	best, bestScore := "", uint64(0)
+	for j := i; j <= end; j++ {
+		if s := rendezvousScore(key, r.points[j].peer); best == "" || s > bestScore {
+			best, bestScore = r.points[j].peer, s
+		}
+	}
+	return best
+}
+
+// vnodeHash positions virtual node i of a peer on the circle.
+func vnodeHash(peer string, i int) uint64 {
+	sum := sha256.Sum256([]byte("pdt-ring\x00" + peer + "\x00" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// rendezvousScore is the highest-random-weight score of (key, peer).
+func rendezvousScore(key Key, peer string) uint64 {
+	h := sha256.New()
+	h.Write(key[:])
+	h.Write([]byte{0})
+	h.Write([]byte(peer))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}

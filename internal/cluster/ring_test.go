@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+)
+
+func keyN(n uint64) Key {
+	var seed [8]byte
+	binary.BigEndian.PutUint64(seed[:], n)
+	return sha256.Sum256(seed[:])
+}
+
+func TestRingDeterministicAcrossConstructions(t *testing.T) {
+	// Two rings built from the same peers (any order) must agree on
+	// every key — replicas never exchange ring state, so agreement is
+	// purely constructional.
+	a, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"c", "a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		k := keyN(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on key %d: %s vs %s", i, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 30000
+	for i := uint64(0); i < n; i++ {
+		counts[r.Owner(keyN(i))]++
+	}
+	for peer, c := range counts {
+		// With 64 vnodes each, shares should sit near n/3; accept a wide
+		// band — the test guards against a broken hash, not variance.
+		if c < n/6 || c > n/2 {
+			t.Fatalf("peer %s owns %d of %d keys (counts %v)", peer, c, n, counts)
+		}
+	}
+}
+
+func TestRingConsistency(t *testing.T) {
+	// Removing one peer must only remap the keys that peer owned: the
+	// defining property of consistent hashing.
+	full, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := uint64(0); i < 10000; i++ {
+		k := keyN(i)
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == "c" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %d moved %s -> %s though its owner survived", i, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("peer c owned nothing; ring is degenerate")
+	}
+}
+
+func TestRingSinglePeerOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"solo"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if got := r.Owner(keyN(i)); got != "solo" {
+			t.Fatalf("owner = %q", got)
+		}
+	}
+}
+
+func TestRingRejectsBadPeerLists(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty peer name accepted")
+	}
+}
+
+func TestRendezvousTiebreakDeterministic(t *testing.T) {
+	// The tiebreak itself: for any key, the rendezvous winner among a
+	// fixed peer set is stable and total.
+	k := keyN(42)
+	best, bestScore := "", uint64(0)
+	for _, p := range []string{"a", "b", "c"} {
+		s := rendezvousScore(k, p)
+		if best == "" || s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	for i := 0; i < 10; i++ {
+		got, gotScore := "", uint64(0)
+		for _, p := range []string{"c", "b", "a"} {
+			s := rendezvousScore(k, p)
+			if got == "" || s > gotScore {
+				got, gotScore = p, s
+			}
+		}
+		if got != best {
+			t.Fatalf("tiebreak unstable: %s vs %s", got, best)
+		}
+	}
+}

@@ -20,8 +20,17 @@ package faults
 //	killphase:PHASE[:NTH]  request a process kill at the NTH time a job
 //	                       reaches PHASE (accept|start|render|done|
 //	                       webhook; default 1)
+//	netdrop:PEER[:N]       fail the next N calls to the named peer
+//	                       (default 1, * = every call) with an injected
+//	                       connection error; PEER may be * for any peer
+//	netlat:PEER:MS         delay every call to the named peer by MS
+//	                       milliseconds (PEER may be *)
+//	partition:A|B          drop all traffic between side A and side B;
+//	                       each side is a +-separated peer-name list and
+//	                       the rule applies when this process's own name
+//	                       is on one side and the callee on the other
 //
-// Example: -chaos 'diskfull:4096:*,slowdisk:5'
+// Example: -chaos 'diskfull:4096:*,slowdisk:5,netlat:b:20,partition:a|b+c'
 //
 // Unlike Plan, a ServicePlan is consulted from concurrent request and
 // worker goroutines, so its consumption state is mutex-guarded.
@@ -70,6 +79,41 @@ type KillRule struct {
 	seen  int
 }
 
+// NetDropRule fails calls to a peer: the next Count calls (EveryTime =
+// all of them). Peer "*" matches any peer.
+type NetDropRule struct {
+	Peer  string
+	Count int
+	used  int
+}
+
+// NetLatRule delays every call to a peer. Peer "*" matches any peer.
+type NetLatRule struct {
+	Peer  string
+	Delay time.Duration
+}
+
+// PartitionRule drops all traffic between the two named sides. It is
+// evaluated against (self, callee): the call fails when the two names
+// sit on opposite sides.
+type PartitionRule struct {
+	A, B []string
+}
+
+func (r PartitionRule) separates(self, peer string) bool {
+	return (contains(r.A, self) && contains(r.B, peer)) ||
+		(contains(r.B, self) && contains(r.A, peer))
+}
+
+func contains(names []string, n string) bool {
+	for _, v := range names {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
 // ServicePlan is a parsed service-level fault plan. The zero value (and
 // a nil plan) injects nothing; all methods are nil-safe and
 // concurrency-safe.
@@ -78,6 +122,11 @@ type ServicePlan struct {
 	SlowDisk  time.Duration
 	Torns     []TornRule
 	Kills     []KillRule
+	NetDrops  []NetDropRule
+	NetLats   []NetLatRule
+	// Partitions are guarded by mu: chaos harnesses arm and heal them at
+	// runtime (Partition/Heal) while request goroutines consult NetFault.
+	Partitions []PartitionRule
 
 	mu      sync.Mutex
 	written int64 // total payload bytes successfully presented for write
@@ -117,6 +166,12 @@ func ParseService(spec string) (*ServicePlan, error) {
 			err = p.parseTorn(args)
 		case "killphase":
 			err = p.parseKillPhase(args)
+		case "netdrop":
+			err = p.parseNetDrop(args)
+		case "netlat":
+			err = p.parseNetLat(args)
+		case "partition":
+			err = p.parsePartition(args)
 		default:
 			err = fmt.Errorf("unknown directive %q", name)
 		}
@@ -202,10 +257,76 @@ func (p *ServicePlan) parseKillPhase(args []string) error {
 	return nil
 }
 
+func (p *ServicePlan) parseNetDrop(args []string) error {
+	if err := argCount(args, 1, 2); err != nil {
+		return err
+	}
+	if args[0] == "" {
+		return fmt.Errorf("empty peer name")
+	}
+	r := NetDropRule{Peer: args[0], Count: 1}
+	if len(args) == 2 {
+		if args[1] == "*" {
+			r.Count = EveryTime
+		} else {
+			n, err := parseU64(args[1], "count")
+			if err != nil || n == 0 {
+				return fmt.Errorf("bad count %q", args[1])
+			}
+			r.Count = int(n)
+		}
+	}
+	p.NetDrops = append(p.NetDrops, r)
+	return nil
+}
+
+func (p *ServicePlan) parseNetLat(args []string) error {
+	if err := argCount(args, 2, 2); err != nil {
+		return err
+	}
+	if args[0] == "" {
+		return fmt.Errorf("empty peer name")
+	}
+	ms, err := parseU64(args[1], "milliseconds")
+	if err != nil {
+		return err
+	}
+	p.NetLats = append(p.NetLats, NetLatRule{Peer: args[0], Delay: time.Duration(ms) * time.Millisecond})
+	return nil
+}
+
+func (p *ServicePlan) parsePartition(args []string) error {
+	if err := argCount(args, 1, 1); err != nil {
+		return err
+	}
+	sides := strings.Split(args[0], "|")
+	if len(sides) != 2 {
+		return fmt.Errorf("want exactly two |-separated sides, got %q", args[0])
+	}
+	rule := PartitionRule{A: splitSide(sides[0]), B: splitSide(sides[1])}
+	if len(rule.A) == 0 || len(rule.B) == 0 {
+		return fmt.Errorf("empty partition side in %q", args[0])
+	}
+	p.Partitions = append(p.Partitions, rule)
+	return nil
+}
+
+// splitSide parses one +-separated peer-name list, dropping empties.
+func splitSide(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, "+") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // Empty reports whether the plan injects nothing.
 func (p *ServicePlan) Empty() bool {
 	return p == nil || (len(p.DiskFulls) == 0 && p.SlowDisk == 0 &&
-		len(p.Torns) == 0 && len(p.Kills) == 0)
+		len(p.Torns) == 0 && len(p.Kills) == 0 &&
+		len(p.NetDrops) == 0 && len(p.NetLats) == 0 && len(p.Partitions) == 0)
 }
 
 // BeforeIO blocks for the configured slow-disk delay. Call it at the
@@ -261,6 +382,61 @@ func (p *ServicePlan) WriteFault(n int) (keep int, err error) {
 	return n, nil
 }
 
+// ErrNetDrop is the injected connection failure for netdrop and
+// partition directives; it stands in for a refused or reset connection.
+var ErrNetDrop = errors.New("faults: injected network drop")
+
+// NetFault is consulted once per outgoing peer call from self to peer,
+// in consumption order. It returns an injected latency to apply before
+// the call and whether the call must fail with ErrNetDrop instead of
+// reaching the network. Latency applies even to dropped calls — a
+// partitioned link looks slow before it looks dead.
+func (p *ServicePlan) NetFault(self, peer string) (delay time.Duration, drop bool) {
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.NetLats {
+		if r.Peer == "*" || r.Peer == peer {
+			delay += r.Delay
+		}
+	}
+	for i := range p.NetDrops {
+		r := &p.NetDrops[i]
+		if r.Peer != "*" && r.Peer != peer {
+			continue
+		}
+		if r.Count == EveryTime || r.used < r.Count {
+			r.used++
+			return delay, true
+		}
+	}
+	for _, r := range p.Partitions {
+		if r.separates(self, peer) {
+			return delay, true
+		}
+	}
+	return delay, false
+}
+
+// Partition arms a partition rule at runtime — the chaos harness's way
+// of cutting a link mid-request without restarting the process.
+func (p *ServicePlan) Partition(a, b []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Partitions = append(p.Partitions, PartitionRule{A: a, B: b})
+}
+
+// Heal lifts every partition and exhausts nothing else: netdrop budgets
+// and latency rules keep their state. The chaos harness calls it to
+// model a network that recovers.
+func (p *ServicePlan) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Partitions = nil
+}
+
 // Kill reports whether the process should die now, at the given job
 // phase, consuming the matching rule occurrence.
 func (p *ServicePlan) Kill(phase string) bool {
@@ -287,6 +463,8 @@ func (p *ServicePlan) String() string {
 	if p == nil {
 		return ""
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var parts []string
 	for _, r := range p.DiskFulls {
 		if r.Count == EveryTime {
@@ -307,6 +485,20 @@ func (p *ServicePlan) String() string {
 	}
 	for _, r := range p.Kills {
 		parts = append(parts, fmt.Sprintf("killphase:%s:%d", r.Phase, r.Nth))
+	}
+	for _, r := range p.NetDrops {
+		if r.Count == EveryTime {
+			parts = append(parts, fmt.Sprintf("netdrop:%s:*", r.Peer))
+		} else {
+			parts = append(parts, fmt.Sprintf("netdrop:%s:%d", r.Peer, r.Count))
+		}
+	}
+	for _, r := range p.NetLats {
+		parts = append(parts, fmt.Sprintf("netlat:%s:%d", r.Peer, r.Delay/time.Millisecond))
+	}
+	for _, r := range p.Partitions {
+		parts = append(parts, fmt.Sprintf("partition:%s|%s",
+			strings.Join(r.A, "+"), strings.Join(r.B, "+")))
 	}
 	return strings.Join(parts, ",")
 }

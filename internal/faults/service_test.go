@@ -16,7 +16,11 @@ func TestParseServiceRoundTrip(t *testing.T) {
 		"torn:3:7",
 		"killphase:render:1",
 		"killphase:done:2",
-		"diskfull:4096:2,slowdisk:5,torn:1:0,killphase:accept:1",
+		"netdrop:b:1",
+		"netdrop:*:*",
+		"netlat:b:20",
+		"partition:a|b+c",
+		"diskfull:4096:2,slowdisk:5,torn:1:0,killphase:accept:1,netdrop:b:3,netlat:*:5,partition:a+b|c",
 	}
 	for _, spec := range specs {
 		p, err := ParseService(spec)
@@ -39,6 +43,14 @@ func TestParseServiceRejects(t *testing.T) {
 		"killphase:render:0",   // 1-based occurrence
 		"stall:0:0:10",         // sim directive, wrong plan type
 		"diskfull:1,torn:zero", // error position in multi-spec
+		"netdrop",              // missing peer
+		"netdrop::2",           // empty peer
+		"netdrop:b:0",          // zero count
+		"netlat:b",             // missing delay
+		"netlat:b:fast",        // non-numeric delay
+		"partition:a",          // one side only
+		"partition:a|b|c",      // three sides
+		"partition:|b",         // empty side
 	} {
 		if _, err := ParseService(spec); err == nil {
 			t.Errorf("ParseService(%q) accepted", spec)
@@ -154,6 +166,102 @@ func TestSlowDiskDelays(t *testing.T) {
 	p.BeforeIO()
 	if d := time.Since(start); d < 20*time.Millisecond {
 		t.Fatalf("BeforeIO returned after %v, want >= ~30ms", d)
+	}
+}
+
+func TestNetDropConsumption(t *testing.T) {
+	p, err := ParseService("netdrop:b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calls to other peers are untouched.
+	if _, drop := p.NetFault("a", "c"); drop {
+		t.Fatal("dropped a call to an unmatched peer")
+	}
+	for i := 0; i < 2; i++ {
+		if _, drop := p.NetFault("a", "b"); !drop {
+			t.Fatalf("call %d to b survived the drop budget", i)
+		}
+	}
+	if _, drop := p.NetFault("a", "b"); drop {
+		t.Fatal("netdrop fired past its budget")
+	}
+
+	p, err = ParseService("netdrop:*:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, peer := range []string{"b", "c", "b"} {
+		if _, drop := p.NetFault("a", peer); !drop {
+			t.Fatalf("netdrop:*:* let a call to %s through", peer)
+		}
+	}
+}
+
+func TestNetLatAccumulates(t *testing.T) {
+	p, err := ParseService("netlat:b:20,netlat:*:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, drop := p.NetFault("a", "b"); drop || d != 25*time.Millisecond {
+		t.Fatalf("latency to b: %v drop=%v, want 25ms", d, drop)
+	}
+	if d, drop := p.NetFault("a", "c"); drop || d != 5*time.Millisecond {
+		t.Fatalf("latency to c: %v drop=%v, want 5ms", d, drop)
+	}
+}
+
+func TestPartitionSeparatesBothDirections(t *testing.T) {
+	p, err := ParseService("partition:a|b+c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		self, peer string
+		want       bool
+	}{
+		{"a", "b", true},
+		{"a", "c", true},
+		{"b", "a", true}, // symmetric
+		{"c", "a", true},
+		{"b", "c", false}, // same side
+		{"a", "a", false},
+		{"d", "a", false}, // outsider
+	} {
+		if _, drop := p.NetFault(c.self, c.peer); drop != c.want {
+			t.Errorf("NetFault(%s, %s) drop = %v, want %v", c.self, c.peer, drop, c.want)
+		}
+	}
+}
+
+func TestPartitionArmAndHealAtRuntime(t *testing.T) {
+	p, err := ParseService("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, drop := p.NetFault("a", "b"); drop {
+		t.Fatal("empty plan drops")
+	}
+	p.Partition([]string{"a"}, []string{"b"})
+	if _, drop := p.NetFault("a", "b"); !drop {
+		t.Fatal("armed partition did not drop")
+	}
+	p.Heal()
+	if _, drop := p.NetFault("a", "b"); drop {
+		t.Fatal("healed partition still drops")
+	}
+	// Heal lifts partitions only; drop budgets survive.
+	p2, _ := ParseService("netdrop:b:1")
+	p2.Heal()
+	if _, drop := p2.NetFault("a", "b"); !drop {
+		t.Fatal("Heal consumed an unrelated netdrop budget")
+	}
+}
+
+func TestNetFaultNilSafe(t *testing.T) {
+	var nilPlan *ServicePlan
+	if d, drop := nilPlan.NetFault("a", "b"); d != 0 || drop {
+		t.Fatalf("nil NetFault = %v, %v", d, drop)
 	}
 }
 

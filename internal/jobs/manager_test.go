@@ -494,3 +494,62 @@ func TestSubmitJournalErrorTolerated(t *testing.T) {
 		t.Fatalf("non-durable job left in table: %d", got)
 	}
 }
+
+// TestWebhookRedeliveryAfterReplay: the process died between the done
+// record and the webhook (no failed-delivery attempt on record, just a
+// missing "notified"). The next boot must deliver the hook exactly once
+// without re-running the analysis, and the boot after that must stay
+// completely quiet.
+func TestWebhookRedeliveryAfterReplay(t *testing.T) {
+	path := journalPath(t)
+	j, _, _, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write the crash-consistent journal: accepted, started, done —
+	// and then the lights went out before deliverWebhook ran.
+	for _, rec := range []Record{
+		{Op: "accept", ID: "j-dead", Kind: "summary", Key: "k1",
+			Webhook: "http://hook", MaxAttempts: 3},
+		{Op: "start", ID: "j-dead", Attempt: 1},
+		{Op: "done", ID: "j-dead", CRC: 0xdeadbeef},
+	} {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	env := newEnv()
+	env.put("k1", []byte("img"))
+	m2, j2 := openManager(t, path, env.config())
+	waitWebhooks(t, m2, 1)
+	jb, ok := m2.Get("j-dead")
+	if !ok || jb.Status != StatusDone || jb.ResultCRC != 0xdeadbeef {
+		t.Fatalf("replayed job = %+v", jb)
+	}
+	if !jb.Replayed {
+		t.Fatal("job not marked replayed")
+	}
+	if got := env.execs.Load(); got != 0 {
+		t.Fatalf("redelivery ran the analysis %d times, want 0", got)
+	}
+	m2.Stop()
+	j2.Close()
+	if n := countOps(t, path, "j-dead", "notified"); n != 1 {
+		t.Fatalf("%d notified records, want 1", n)
+	}
+
+	// Third boot: the notified record is on disk, so nothing replays.
+	m3, j3 := openManager(t, path, env.config())
+	defer func() { m3.Stop(); j3.Close() }()
+	time.Sleep(20 * time.Millisecond) // give a buggy redelivery time to fire
+	if st := m3.Stats(); st.WebhooksOK != 0 || st.Replayed != 0 {
+		t.Fatalf("post-notified boot replayed work: %+v", st)
+	}
+	if got := env.execs.Load(); got != 0 {
+		t.Fatalf("post-notified boot ran the analysis %d times, want 0", got)
+	}
+}

@@ -242,10 +242,12 @@ func run(o options) error {
 		return err
 	}
 	bad := compare(want, got, tol)
-	if len(bad) > 0 {
-		// One retry: benchmarks share the host with the rest of CI and a
-		// single noisy run should not fail the gate. Keep the better of
-		// the two runs per metric.
+	// Up to three retries: benchmarks share the host with the rest of CI
+	// (and, on virtualized runners, with other tenants), so a noisy run
+	// or two must not fail the gate. Keep the best observation per
+	// metric — a genuine regression stays slow on every attempt, a load
+	// burst does not.
+	for attempt := 0; len(bad) > 0 && attempt < 3; attempt++ {
 		fmt.Printf("possible regression, re-running to damp noise:\n  %s\n",
 			strings.Join(bad, "\n  "))
 		again, err := measure(o.short)
