@@ -9,9 +9,9 @@ COVER_BASELINE ?= 84.0
 
 .PHONY: ci fmt vet staticcheck build test race bench bench-analysis bench-analysis-short \
 	bench-check bench-check-short bench-baseline cover cover-check fuzz-smoke fuzz smoke-tad \
-	chaos-smoke chaos-cluster loadtest-smoke
+	chaos-smoke chaos-cluster loadtest-smoke stream-smoke
 
-ci: fmt vet staticcheck build race bench cover-check bench-check-short fuzz-smoke chaos-smoke chaos-cluster loadtest-smoke smoke-tad
+ci: fmt vet staticcheck build race bench cover-check bench-check-short fuzz-smoke chaos-smoke chaos-cluster loadtest-smoke stream-smoke smoke-tad
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -97,7 +97,7 @@ cover-check: cover
 # salvage fuzzer and the pdt-tad HTTP-handler fuzzer.
 fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/core/traceio ./cmd/pdt-tad ./internal/jobs ./internal/cluster
-	$(GO) test -run 'FuzzColumnarRoundTrip' ./internal/analyzer
+	$(GO) test -run 'FuzzColumnarRoundTrip|FuzzStreamDecode' ./internal/analyzer
 
 # Service-level chaos drill under the race detector: kill the daemon at
 # every job phase and assert journal replay converges byte-identically
@@ -118,6 +118,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSalvage -fuzztime 60s ./internal/core/traceio
 	$(GO) test -run '^$$' -fuzz FuzzTADHandler -fuzztime 60s ./cmd/pdt-tad
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 60s ./internal/jobs
+	$(GO) test -run '^$$' -fuzz FuzzStreamDecode -fuzztime 60s ./internal/analyzer
 
 # End-to-end service smoke test: builds the real pdt-tad binary, starts
 # it, and checks the operator contract — 200 on the golden trace, 413
@@ -126,8 +127,16 @@ smoke-tad:
 	$(GO) test -tags smoke -run TestSmokeTAD ./cmd/pdt-tad
 
 # Load gate: builds the real pdt-tad binary, starts a three-replica
-# ring, and replays workload traces through pdt-load at concurrency.
-# Fails on any 5xx/transport error or a p99 above LOADTEST_P99.
+# ring, and replays workload traces through pdt-load at concurrency —
+# whole-body POSTs first, then full chunked-upload sessions. Fails on
+# any 5xx/transport error or a p99 above LOADTEST_P99.
 LOADTEST_P99 ?= 2s
 loadtest-smoke:
 	LOADTEST_P99=$(LOADTEST_P99) $(GO) test -tags smoke -run TestSmokeLoadRing ./cmd/pdt-load
+
+# Bounded-RSS streaming gate: synthesizes a ~100 MB on-disk trace
+# (>10x the stream window) and loads it through StreamLoader under a
+# hard runtime memory limit, failing if the live heap ever grows past
+# twice the window.
+stream-smoke:
+	$(GO) test -tags smoke -run TestSmokeStreamBoundedRSS ./internal/integration

@@ -188,6 +188,48 @@ func BenchmarkLoadLargeTrace(b *testing.B) {
 	})
 }
 
+// BenchmarkLoadStream measures the incremental streaming loader on the
+// same standard large trace as BenchmarkLoadLargeTrace, fed through
+// StreamLoader in transport-sized writes under the default bounded
+// window — the delta against LoadLargeTrace/parallel is the price of
+// flat-RSS streaming ingest.
+func BenchmarkLoadStream(b *testing.B) {
+	events := 20000
+	if testing.Short() {
+		events = 2000
+	}
+	cfg := core.DefaultTraceConfig()
+	res, err := harness.Run(harness.Spec{
+		Workload: "synthetic",
+		Params:   map[string]string{"events": fmt.Sprint(events), "gap": "100"},
+		Trace:    &cfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := res.TraceBytes
+	const write = 64 << 10
+	b.Logf("trace: %d bytes", len(data))
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := analyzer.NewStreamLoader(analyzer.StreamOptions{})
+		for off := 0; off < len(data); off += write {
+			end := off + write
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := l.Write(data[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := l.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // largeTrace loads the standard multi-MiB benchmark trace once; the
 // analysis-kernel benchmarks below all chew on the same loaded trace so
 // their parallel/serial deltas are purely the kernels.

@@ -100,6 +100,8 @@ func run(args []string, out io.Writer) error {
 		concurrency = fs.Int("concurrency", 8, "in-flight requests")
 		p99Budget   = fs.Duration("p99-budget", 0, "fail when p99 latency exceeds this (0 = report only)")
 		timeout     = fs.Duration("timeout", 15*time.Second, "per-request deadline")
+		streamMode  = fs.Bool("stream", false, "replay through chunked-upload sessions (/v1/upload) instead of whole-body POSTs")
+		chunkBytes  = fs.Int("chunk-bytes", 64<<10, "upload chunk size in stream mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,9 +115,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	kinds := strings.Split(*kindSpec, ",")
-	for _, k := range kinds {
-		if !analysisKinds[k] {
-			return fmt.Errorf("unknown analysis kind %q", k)
+	if *streamMode {
+		// One streamed session yields the summary; -kinds does not apply.
+		kinds = []string{"upload"}
+		if *chunkBytes <= 0 {
+			return fmt.Errorf("-chunk-bytes must be positive")
+		}
+	} else {
+		for _, k := range kinds {
+			if !analysisKinds[k] {
+				return fmt.Errorf("unknown analysis kind %q", k)
+			}
 		}
 	}
 	if *requests <= 0 || *concurrency <= 0 {
@@ -154,6 +164,22 @@ func run(args []string, out io.Writer) error {
 				target := targets[i%len(targets)]
 				trace := traces[i%len(traces)]
 				kind := kinds[i%len(kinds)]
+				if *streamMode {
+					t0 := time.Now()
+					shedded, err := streamOnce(client, target, trace, *chunkBytes, i)
+					dur := time.Since(t0)
+					mu.Lock()
+					switch {
+					case err != nil:
+						failures = append(failures, err.Error())
+					case shedded:
+						shed++
+					default:
+						latencies = append(latencies, dur)
+					}
+					mu.Unlock()
+					continue
+				}
 				t0 := time.Now()
 				resp, err := client.Post(target+"/v1/"+kind,
 					"application/octet-stream", bytes.NewReader(trace))

@@ -115,4 +115,29 @@ func TestSmokeLoadRing(t *testing.T) {
 	if s.OK == 0 {
 		t.Fatal("every request was shed; ring never did any work")
 	}
+
+	// Second leg: the same ring under streaming ingest — every request a
+	// full chunked-upload session — so the p99 gate covers that path too.
+	out.Reset()
+	err = run([]string{
+		"-targets", strings.Join(targets, ","),
+		"-workloads", "julia,matmul,stream",
+		"-stream",
+		"-chunk-bytes", "16384",
+		"-requests", "30",
+		"-concurrency", "6",
+		"-p99-budget", budget,
+		"-timeout", "30s",
+	}, &out)
+	t.Logf("pdt-load stream summary:\n%s", out.Bytes())
+	if err != nil {
+		t.Fatalf("stream load run failed: %v", err)
+	}
+	s = decode(t, &out)
+	if s.OK+s.Shed != 30 || s.Failures != 0 {
+		t.Fatalf("stream summary = %+v, want 30 answered, 0 failures", s)
+	}
+	if s.OK == 0 {
+		t.Fatal("every streamed session was shed; ring never did any work")
+	}
 }

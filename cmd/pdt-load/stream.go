@@ -1,0 +1,122 @@
+package main
+
+// Streaming replay: with -stream each "request" is a complete chunked
+// upload session against /v1/upload — create, append the trace in
+// -chunk-bytes slices (every other chunk gzip-compressed, exercising
+// the mid-inflate caps), complete, and read back the final summary. The
+// latency recorded is the whole session end to end, so the p99 gate
+// covers the streaming ingest path the same way it covers the batch
+// endpoints.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// streamShed reports the statuses that mean "the daemon is protecting
+// itself" rather than "the daemon is broken" — same split as the batch
+// loop.
+func streamShed(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// streamOnce drives one upload session. The bool result reports clean
+// shedding (session slots exhausted or draining); any other non-2xx is
+// an error. seq seeds the gzip alternation so the fleet as a whole
+// sends a mix of plain and compressed chunks.
+func streamOnce(client *http.Client, target string, trace []byte, chunkSize, seq int) (bool, error) {
+	resp, err := client.Post(target+"/v1/upload", "application/json", nil)
+	if err != nil {
+		return false, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if streamShed(resp.StatusCode) {
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return false, fmt.Errorf("%s /v1/upload: status %d", target, resp.StatusCode)
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil || doc.ID == "" {
+		return false, fmt.Errorf("%s /v1/upload: bad create body %q", target, body)
+	}
+	// Free the session slot if the session dies partway, so a failing run
+	// doesn't also wedge the registry.
+	abort := func() {
+		req, err := http.NewRequest(http.MethodDelete, target+"/v1/upload/"+doc.ID, nil)
+		if err != nil {
+			return
+		}
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	for off, i := 0, seq; off < len(trace); i++ {
+		end := off + chunkSize
+		if end > len(trace) {
+			end = len(trace)
+		}
+		payload := trace[off:end]
+		gz := i%2 == 1
+		if gz {
+			var buf bytes.Buffer
+			zw := gzip.NewWriter(&buf)
+			zw.Write(payload)
+			zw.Close()
+			payload = buf.Bytes()
+		}
+		req, err := http.NewRequest(http.MethodPost,
+			fmt.Sprintf("%s/v1/upload/%s?offset=%d", target, doc.ID, off),
+			bytes.NewReader(payload))
+		if err != nil {
+			abort()
+			return false, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if gz {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			abort()
+			return false, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if streamShed(resp.StatusCode) {
+			abort()
+			return true, nil
+		}
+		if resp.StatusCode != http.StatusOK {
+			abort()
+			return false, fmt.Errorf("%s /v1/upload/{id} at %d: status %d", target, off, resp.StatusCode)
+		}
+		off = end
+	}
+
+	resp, err = client.Post(target+"/v1/upload/"+doc.ID+"/complete", "application/json", nil)
+	if err != nil {
+		abort()
+		return false, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if streamShed(resp.StatusCode) {
+		abort()
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		abort()
+		return false, fmt.Errorf("%s /v1/upload/{id}/complete: status %d", target, resp.StatusCode)
+	}
+	return false, nil
+}

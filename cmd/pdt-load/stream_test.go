@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// uploadStub speaks just enough of the chunked-upload protocol for the
+// driver: 201 on create, offset acks on append (inflating gzip chunks
+// to prove the driver really compresses them), 200 on complete.
+func uploadStub(t *testing.T, creates, chunks *atomic.Int64) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/upload" && r.Method == http.MethodPost:
+			creates.Add(1)
+			w.WriteHeader(http.StatusCreated)
+			w.Write([]byte(`{"id":"stub-session"}`))
+		case strings.HasSuffix(r.URL.Path, "/complete"):
+			w.Write([]byte(`{"complete":true}`))
+		case r.Method == http.MethodDelete:
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			chunks.Add(1)
+			body := io.Reader(r.Body)
+			if r.Header.Get("Content-Encoding") == "gzip" {
+				zr, err := gzip.NewReader(body)
+				if err != nil {
+					t.Errorf("bad gzip chunk: %v", err)
+					w.WriteHeader(http.StatusBadRequest)
+					return
+				}
+				body = zr
+			}
+			n, _ := io.Copy(io.Discard, body)
+			if n == 0 {
+				t.Error("empty chunk")
+			}
+			w.Write([]byte(`{"offset":0}`))
+		}
+	}))
+}
+
+// TestRunStreamMode drives -stream against the stub: every session is
+// one create plus several chunk appends, and the summary counts whole
+// sessions, not HTTP calls.
+func TestRunStreamMode(t *testing.T) {
+	var creates, chunks atomic.Int64
+	ts := uploadStub(t, &creates, &chunks)
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-targets", ts.URL,
+		"-workloads", "julia",
+		"-stream",
+		"-chunk-bytes", "2048",
+		"-requests", "6",
+		"-concurrency", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("stream run: %v\n%s", err, out.String())
+	}
+	s := decode(t, &out)
+	if s.OK != 6 || s.Failures != 0 {
+		t.Fatalf("summary = %+v, want 6 ok", s)
+	}
+	if got := creates.Load(); got != 6 {
+		t.Errorf("creates = %d, want 6", got)
+	}
+	// Each session sends multiple chunks of the trace.
+	if got := chunks.Load(); got < 12 {
+		t.Errorf("chunk appends = %d, want several per session", got)
+	}
+	if !strings.Contains(out.String(), `"upload"`) {
+		t.Errorf("summary kinds missing upload marker:\n%s", out.String())
+	}
+}
+
+// TestRunStreamShedOnCreate: 429 on session create is clean shedding,
+// not a failure — unless everything was shed.
+func TestRunStreamShedOnCreate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-targets", ts.URL,
+		"-workloads", "julia",
+		"-stream",
+		"-requests", "4",
+		"-concurrency", "2",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "shed") {
+		t.Fatalf("all-shed stream run: err = %v, want all-shed error", err)
+	}
+	s := decode(t, &out)
+	if s.Shed != 4 || s.Failures != 0 {
+		t.Fatalf("summary = %+v, want 4 shed, 0 failures", s)
+	}
+}
+
+// TestRunStreamChunkValidation rejects a nonsensical chunk size.
+func TestRunStreamChunkValidation(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-targets", "http://127.0.0.1:1", "-stream", "-chunk-bytes", "0"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "chunk-bytes") {
+		t.Fatalf("err = %v, want chunk-bytes validation", err)
+	}
+}

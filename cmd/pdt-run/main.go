@@ -62,6 +62,7 @@ func run(args []string, out io.Writer) error {
 		workload   = fs.String("workload", "", "workload to run (see -list)")
 		list       = fs.Bool("list", false, "list available workloads and exit")
 		output     = fs.String("o", "trace.pdt", "trace output path (empty = no trace)")
+		livePath   = fs.String("live", "", "mirror the trace to this file while the run executes (tail it with `pdt-ta summary -follow`)")
 		configPath = fs.String("config", "", "PDT XML configuration file")
 		groups     = fs.String("groups", "", "comma-separated event groups (overrides config)")
 		spes       = fs.Int("spes", 0, "number of SPEs (0 = machine default of 8)")
@@ -98,6 +99,10 @@ func run(args []string, out io.Writer) error {
 		Params:    params,
 		NumSPEs:   *spes,
 		TracePath: *output,
+		LivePath:  *livePath,
+	}
+	if *livePath != "" && *untraced {
+		return fmt.Errorf("-live requires tracing (drop -untraced)")
 	}
 	if *faultSpec != "" {
 		plan, err := faults.Parse(*faultSpec)

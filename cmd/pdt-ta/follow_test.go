@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFollowGrowingTrace drip-feeds a sealed trace into a file while
+// `summary -follow` tails it: follow must stop on its own when the
+// footer lands and print the same report the batch path prints.
+func TestFollowGrowingTrace(t *testing.T) {
+	src := makeTrace(t)
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := filepath.Join(t.TempDir(), "live.pdt")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f, err := os.Create(live)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer f.Close()
+		const step = 4 << 10
+		for off := 0; off < len(data); off += step {
+			end := off + step
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := f.Write(data[off:end]); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var followed bytes.Buffer
+	if err := run([]string{"summary", "-follow", "-poll", "5ms", "-timeout", "30s", live}, &followed); err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	wg.Wait()
+
+	var batch bytes.Buffer
+	if err := run([]string{"summary", src}, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if followed.String() != batch.String() {
+		t.Errorf("follow report differs from batch:\nfollow:\n%s\nbatch:\n%s", &followed, &batch)
+	}
+}
+
+// TestFollowIdleTruncated covers the crashed-writer path: the file stops
+// growing before the footer, so -idle makes follow report what survived.
+func TestFollowIdleTruncated(t *testing.T) {
+	src := makeTrace(t)
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := filepath.Join(t.TempDir(), "dead.pdt")
+	if err := os.WriteFile(dead, data[:len(data)*3/5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"summary", "-follow", "-poll", "5ms", "-idle", "50ms", "-timeout", "30s", dead}, &out); err != nil {
+		t.Fatalf("follow idle: %v", err)
+	}
+	if !strings.Contains(out.String(), "workload: julia") {
+		t.Errorf("truncated follow report missing summary:\n%s", out.String())
+	}
+}
+
+// TestFollowWrongSubcommand rejects -follow outside summary.
+func TestFollowWrongSubcommand(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"timeline", "-follow", "x.pdt"}, &out); err == nil {
+		t.Fatal("-follow accepted for timeline")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"github.com/celltrace/pdt/internal/analyzer"
 	"github.com/celltrace/pdt/internal/analyzer/diff"
@@ -112,6 +113,9 @@ func run(args []string, out io.Writer) error {
 	maxEvents := fs.Int("n", 0, "max events to print (events; 0 = all)")
 	gapTicks := fs.Int("min", 0, "minimum gap ticks (gaps; 0 = auto threshold)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text (diff)")
+	follow := fs.Bool("follow", false, "tail a still-growing trace (pdt-run -live) and report when it seals (summary)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "file poll interval in follow mode")
+	idle := fs.Duration("idle", 0, "give up and report after the file stops growing for this long (follow; 0 = wait forever)")
 	timeout := fs.Duration("timeout", 0, "abort the whole command after this wall-clock duration (exit status 3)")
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -128,6 +132,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if fs.NArg() != wantArgs {
 		return usage()
+	}
+	if *follow {
+		if cmd != "summary" {
+			return errors.New("-follow only applies to `pdt-ta summary`")
+		}
+		return followSummary(ctx, fs.Arg(0), *poll, *idle, out)
 	}
 	if cmd == "doctor" {
 		rep, err := analyzer.DoctorFileContext(ctx, fs.Arg(0), analyzer.Limits{})

@@ -70,6 +70,32 @@ func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 	return data, nil
 }
 
+// streamBody returns the request body as a plain decompressed stream
+// for the chunked-upload handlers: wire bytes are capped by
+// MaxBytesReader and gzip is inflated lazily, so the caller sees (and
+// caps) decompressed bytes as they emerge instead of after the whole
+// body was buffered — admission control applies mid-inflate.
+func (s *server) streamBody(w http.ResponseWriter, r *http.Request) (io.ReadCloser, *statusError) {
+	body := io.Reader(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	if enc := r.Header.Get("Content-Encoding"); enc != "" {
+		if !strings.EqualFold(enc, "gzip") {
+			return nil, &statusError{
+				status: http.StatusUnsupportedMediaType,
+				err:    fmt.Errorf("unsupported Content-Encoding %q", enc),
+			}
+		}
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			return nil, &statusError{
+				status: http.StatusBadRequest,
+				err:    fmt.Errorf("gzip body: %w", err),
+			}
+		}
+		return zr, nil
+	}
+	return io.NopCloser(body), nil
+}
+
 // gzipResponses negotiates response compression: when the client
 // accepts gzip, application/json bodies are compressed. The cluster
 // peer frames (application/octet-stream) pass through untouched so

@@ -29,6 +29,12 @@
 //	POST /v1/critpath trace body -> critical-path JSON
 //	POST /v1/doctor   trace body -> salvage/recovery report JSON
 //	POST /v1/diff     two traces -> overhead-attribution diff JSON
+//	POST /v1/upload   open a chunked-upload session -> 201 + id
+//	POST /v1/upload/{id}?offset=N  append a chunk (gzip ok); 409 + current
+//	                  offset on mismatch (resume point)
+//	POST /v1/upload/{id}/complete  seal the stream -> final summary + key
+//	DELETE /v1/upload/{id}         abort the session
+//	GET  /v1/live/{id}  running summary of an in-flight upload
 //	POST /v1/jobs     trace body + ?kind= -> 202 + job id (or sync 200)
 //	GET  /v1/jobs/{id}         job document JSON
 //	GET  /v1/jobs/{id}/result  completed job's artifact JSON
@@ -100,6 +106,10 @@ func run(args []string, stdout io.Writer, logw io.Writer, ready chan<- net.Addr)
 		peerBackC  = fs.Duration("peer-backoff-cap", def.peerBackoffCap, "ceiling on the peer retry backoff")
 		brkThresh  = fs.Int("peer-breaker-threshold", def.peerBreakerThreshold, "consecutive failures that open a peer's circuit breaker")
 		brkCool    = fs.Duration("peer-breaker-cooldown", def.peerBreakerCooldown, "open breaker cooldown before a half-open probe")
+		maxUploads = fs.Int("max-uploads", def.maxUploads, "concurrent chunked-upload sessions (429 beyond)")
+		uploadTTL  = fs.Duration("upload-ttl", def.uploadTTL, "idle chunked-upload session expiry")
+		maxUpload  = fs.Int64("max-upload-bytes", def.maxUploadBytes, "total decompressed bytes one chunked upload may stream")
+		streamWin  = fs.Int64("stream-window-bytes", def.limits.StreamWindowBytes, "streaming-analysis memory window in bytes (0 = analyzer default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,6 +142,10 @@ func run(args []string, stdout io.Writer, logw io.Writer, ready chan<- net.Addr)
 	cfg.peerBackoffCap = *peerBackC
 	cfg.peerBreakerThreshold = *brkThresh
 	cfg.peerBreakerCooldown = *brkCool
+	cfg.maxUploads = *maxUploads
+	cfg.uploadTTL = *uploadTTL
+	cfg.maxUploadBytes = *maxUpload
+	cfg.limits.StreamWindowBytes = *streamWin
 	// The body cap is the outer wall; keep the analyzer's file limit in
 	// step so admission control agrees with the HTTP layer.
 	cfg.limits.MaxFileBytes = cfg.maxBody

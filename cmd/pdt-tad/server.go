@@ -77,6 +77,13 @@ type config struct {
 	// breaker; peerBreakerCooldown is the open → half-open delay.
 	peerBreakerThreshold int
 	peerBreakerCooldown  time.Duration
+	// maxUploads bounds concurrent chunked-upload sessions (429 beyond);
+	// uploadTTL expires sessions idle longer than this; maxUploadBytes
+	// caps one streamed trace's total decompressed size — deliberately
+	// separate from maxBody, which stays the per-request cap.
+	maxUploads     int
+	uploadTTL      time.Duration
+	maxUploadBytes int64
 }
 
 func defaultConfig() config {
@@ -101,6 +108,10 @@ func defaultConfig() config {
 		peerBackoffCap:       250 * time.Millisecond,
 		peerBreakerThreshold: 3,
 		peerBreakerCooldown:  2 * time.Second,
+
+		maxUploads:     8,
+		uploadTTL:      2 * time.Minute,
+		maxUploadBytes: 256 << 20,
 	}
 }
 
@@ -134,6 +145,8 @@ type server struct {
 	// analysisHook, when non-nil, runs inside each analysis handler after
 	// admission (test seam for panic and saturation tests).
 	analysisHook func()
+	// uploads is the chunked-upload session registry.
+	uploads *uploads
 }
 
 func newServer(cfg config, log *slog.Logger) *server {
@@ -152,6 +165,13 @@ func newServer(cfg config, log *slog.Logger) *server {
 	if cfg.cacheBytes > 0 || cfg.cacheEntries > 0 {
 		s.cache = cache.New(cfg.cacheEntries, cfg.cacheBytes)
 	}
+	if s.cfg.maxUploads < 1 {
+		s.cfg.maxUploads = 1
+	}
+	if s.cfg.uploadTTL <= 0 {
+		s.cfg.uploadTTL = 2 * time.Minute
+	}
+	s.uploads = newUploads(s.cfg.maxUploads, s.cfg.uploadTTL)
 	return s
 }
 
@@ -193,6 +213,11 @@ func (s *server) handler() http.Handler {
 	mux.Handle("POST /v1/critpath", s.analysis("critpath", s.renderCritPath))
 	mux.Handle("POST /v1/doctor", s.analysis("doctor", s.renderDoctor))
 	mux.Handle("POST /v1/diff", s.analysis("diff", s.renderDiff))
+	mux.HandleFunc("POST /v1/upload", s.handleUploadCreate)
+	mux.HandleFunc("POST /v1/upload/{id}", s.handleUploadAppend)
+	mux.HandleFunc("POST /v1/upload/{id}/complete", s.handleUploadComplete)
+	mux.HandleFunc("DELETE /v1/upload/{id}", s.handleUploadAbort)
+	mux.HandleFunc("GET /v1/live/{id}", s.handleLive)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)

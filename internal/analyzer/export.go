@@ -222,6 +222,20 @@ func WriteCriticalPathJSON(cp *CriticalPath, w io.Writer) error {
 
 // Report renders the human-readable summary the pdt-ta CLI prints.
 func Report(tr *Trace, s *Summary, w io.Writer) {
+	reportTo(w, tr, s, SummarizePPE(tr), EffectiveConcurrency(tr))
+}
+
+// Report renders the same human-readable summary from a streaming
+// result: every figure comes from the incremental accumulators, so the
+// bytes match Report on the batch-loaded trace exactly.
+func (r *StreamResult) Report(w io.Writer) {
+	reportTo(w, r.Trace, r.Summary, r.PPE, r.EffectiveConcurrency)
+}
+
+// reportTo is the shared renderer behind the batch and streaming
+// reports: everything it prints arrives as an argument, so the two
+// paths cannot drift apart.
+func reportTo(w io.Writer, tr *Trace, s *Summary, ppe PPEStats, effConc float64) {
 	fmt.Fprintf(w, "workload: %s\n", s.Workload)
 	fmt.Fprintf(w, "records:  %d (wall %d timebase ticks)\n", s.TotalRecs, s.WallTicks)
 	if tr.Confidence.Degraded() {
@@ -253,13 +267,12 @@ func Report(tr *Trace, s *Summary, w io.Writer) {
 		fmt.Fprintf(w, "%-4d %-6d %-6d %-6d %12d %12d %10d %12.1f\n",
 			d.Run, d.Gets, d.Puts, d.Lists, d.BytesIn, d.BytesOut, d.Waits, d.WaitTicks.Mean())
 	}
-	ppe := SummarizePPE(tr)
 	if ppe.Records > 0 {
 		fmt.Fprintf(w, "\nPPE: %d records, %d SPE waits (%d ticks blocked), %d/%d mbox reads/writes (%d ticks), %d proxy cmds (%d bytes)\n",
 			ppe.Records, ppe.SPEWaits, ppe.WaitTicks, ppe.MboxReads, ppe.MboxWrites,
 			ppe.MboxWaitTicks, ppe.ProxyGets+ppe.ProxyPuts, ppe.ProxyBytes)
 	}
-	fmt.Fprintf(w, "effective SPE concurrency: %.2f\n", EffectiveConcurrency(tr))
+	fmt.Fprintf(w, "effective SPE concurrency: %.2f\n", effConc)
 	fmt.Fprintf(w, "\ntop events:\n")
 	for i, ec := range s.TopEvents() {
 		if i >= 12 {

@@ -1,0 +1,183 @@
+package analyzer_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/core/event"
+	"github.com/celltrace/pdt/internal/core/traceio"
+	"github.com/celltrace/pdt/internal/harness"
+)
+
+// liveWorkload runs one workload with a live mirror attached and returns
+// (live stream bytes, sealed trace bytes).
+func liveWorkload(t *testing.T, name string) ([]byte, []byte) {
+	t.Helper()
+	params, ok := streamEquivParams[name]
+	if !ok {
+		t.Fatalf("no equivalence params for workload %q", name)
+	}
+	cfg := core.DefaultTraceConfig()
+	livePath := filepath.Join(t.TempDir(), "live.pdt")
+	res, err := harness.Run(harness.Spec{
+		Workload: name, Params: params, Trace: &cfg, LivePath: livePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := os.ReadFile(livePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return live, res.TraceBytes
+}
+
+// TestLiveTailRoundTrip checks the whole live-tail contract: the mirror
+// a run writes while executing is a well-formed PDT stream whose batch
+// load resolves the in-band LiveAnchor records, whose streaming load is
+// kernel-for-kernel identical to that batch load, and whose per-run
+// analysis agrees with the sealed file the same run produced.
+func TestLiveTailRoundTrip(t *testing.T) {
+	for _, name := range []string{"pipeline", "matmul"} {
+		t.Run(name, func(t *testing.T) {
+			live, sealed := liveWorkload(t, name)
+
+			// The live stream must be sealed (footer) and carry no
+			// up-front anchors: they arrive in-band.
+			f, err := traceio.Parse(live)
+			if err != nil {
+				t.Fatalf("live stream does not parse: %v", err)
+			}
+			if f.Truncated {
+				t.Fatal("cleanly closed live stream parsed as truncated")
+			}
+			if len(f.Meta.Anchors) != 0 {
+				t.Fatalf("live metadata carries %d anchors, want 0 (in-band)", len(f.Meta.Anchors))
+			}
+
+			// Batch load resolves anchors from LiveAnchor records, on
+			// both the parallel and the serial reference path.
+			liveBatch := loadBatch(t, live)
+			anchors := len(liveBatch.tr.Meta.Anchors)
+			if anchors == 0 {
+				t.Fatal("batch load rebuilt no anchors from the live stream")
+			}
+			fs, err := traceio.Parse(live)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := analyzer.FromFileSerial(fs)
+			if err != nil {
+				t.Fatalf("serial load of live stream: %v", err)
+			}
+			if len(serial.Meta.Anchors) != anchors {
+				t.Fatalf("serial load rebuilt %d anchors, parallel %d", len(serial.Meta.Anchors), anchors)
+			}
+
+			// Streaming the live stream == batch-loading it.
+			sr := streamIn(t, live, 977, analyzer.StreamOptions{
+				GapMinTicks: liveBatch.minGap, Validate: true,
+			})
+			assertStreamMatchesBatch(t, liveBatch, sr)
+
+			// The live view agrees with the sealed file on everything
+			// per-run: the only extra records in the stream are the
+			// in-band anchors themselves.
+			sealedBatch := loadBatch(t, sealed)
+			if n := liveBatch.summary.EventCount[event.LiveAnchor]; n != anchors {
+				t.Errorf("live stream has %d LIVE_ANCHOR records, want %d", n, anchors)
+			}
+			if sealedBatch.summary.EventCount[event.LiveAnchor] != 0 {
+				t.Error("sealed file contains LIVE_ANCHOR records; they belong to the live stream only")
+			}
+			if !reflect.DeepEqual(liveBatch.summary.Runs, sealedBatch.summary.Runs) {
+				t.Errorf("per-run summaries differ:\nlive   %+v\nsealed %+v",
+					liveBatch.summary.Runs, sealedBatch.summary.Runs)
+			}
+			if !reflect.DeepEqual(liveBatch.summary.DMA, sealedBatch.summary.DMA) {
+				t.Errorf("DMA summaries differ:\nlive   %+v\nsealed %+v",
+					liveBatch.summary.DMA, sealedBatch.summary.DMA)
+			}
+			if !reflect.DeepEqual(liveBatch.summary.Mbox, sealedBatch.summary.Mbox) {
+				t.Errorf("mailbox summaries differ:\nlive   %+v\nsealed %+v",
+					liveBatch.summary.Mbox, sealedBatch.summary.Mbox)
+			}
+			if !reflect.DeepEqual(liveBatch.profile, sealedBatch.profile) {
+				t.Errorf("profiles differ:\nlive   %+v\nsealed %+v",
+					liveBatch.profile, sealedBatch.profile)
+			}
+			if !reflect.DeepEqual(liveBatch.tags, sealedBatch.tags) {
+				t.Errorf("tag breakdowns differ:\nlive   %+v\nsealed %+v",
+					liveBatch.tags, sealedBatch.tags)
+			}
+			gaps := analyzer.FindGaps(liveBatch.tr, sealedBatch.minGap)
+			if !reflect.DeepEqual(gaps, sealedBatch.gaps) {
+				t.Errorf("gaps differ at the sealed threshold:\nlive   %+v\nsealed %+v",
+					gaps, sealedBatch.gaps)
+			}
+		})
+	}
+}
+
+// TestLiveTailTruncated cuts a live stream off mid-file — the shape an
+// interrupted pdt-run leaves — and checks that both loaders tolerate it
+// and still agree with each other.
+func TestLiveTailTruncated(t *testing.T) {
+	live, _ := liveWorkload(t, "pipeline")
+	for _, cut := range []int{len(live) - 8, len(live) * 3 / 5} {
+		data := live[:cut]
+		f, err := traceio.Parse(data)
+		if err != nil {
+			t.Fatalf("cut at %d: parse: %v", cut, err)
+		}
+		if !f.Truncated {
+			t.Fatalf("cut at %d: not flagged truncated", cut)
+		}
+		tr, err := analyzer.FromFile(f)
+		if err != nil {
+			t.Fatalf("cut at %d: batch load: %v", cut, err)
+		}
+		analyzer.Validate(tr)
+		b := &batchResults{
+			tr:      tr,
+			summary: analyzer.Summarize(tr),
+			profile: analyzer.Profile(tr),
+			tags:    analyzer.TagBreakdown(tr),
+			ppe:     analyzer.SummarizePPE(tr),
+			eff:     analyzer.EffectiveConcurrency(tr),
+		}
+		b.minGap = analyzer.SuggestGapThreshold(tr)
+		b.gaps = analyzer.FindGaps(tr, b.minGap)
+
+		l := analyzer.NewStreamLoader(analyzer.StreamOptions{
+			GapMinTicks: b.minGap, Validate: true,
+		})
+		if _, err := l.Write(data); err != nil {
+			t.Fatalf("cut at %d: stream write: %v", cut, err)
+		}
+		sr, err := l.Finish()
+		if err != nil {
+			t.Fatalf("cut at %d: stream finish: %v", cut, err)
+		}
+		if !sr.Trace.Truncated {
+			t.Fatalf("cut at %d: stream not flagged truncated", cut)
+		}
+		if !reflect.DeepEqual(sr.Summary, b.summary) {
+			t.Errorf("cut at %d: summaries differ:\nstream %+v\nbatch  %+v", cut, sr.Summary, b.summary)
+		}
+		if !reflect.DeepEqual(sr.Profile, b.profile) {
+			t.Errorf("cut at %d: profiles differ", cut)
+		}
+		var sw, bw bytes.Buffer
+		sr.Report(&sw)
+		analyzer.Report(b.tr, b.summary, &bw)
+		if sw.String() != bw.String() {
+			t.Errorf("cut at %d: reports differ:\nstream:\n%s\nbatch:\n%s", cut, sw.String(), bw.String())
+		}
+	}
+}

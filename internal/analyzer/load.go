@@ -193,6 +193,48 @@ func newTrace(f *traceio.File) *Trace {
 	return tr
 }
 
+// resolveLiveAnchors rebuilds the anchor table of a live-streamed
+// trace. A live stream's up-front metadata carries no anchors (it is
+// written before any SPE program exists); the tracer instead emits a
+// LiveAnchor record as each run starts. When an SPE chunk references an
+// anchor index beyond the metadata table, scan the PPE chunks in file
+// order and append the anchors their LiveAnchor records describe —
+// emission order is anchor-index order, so the rebuilt table lines up
+// with the chunk references. Sealed files resolve every index from
+// metadata alone and skip the scan entirely.
+func resolveLiveAnchors(f *traceio.File) {
+	need := false
+	for _, c := range f.Chunks {
+		if c.Core != event.CorePPE && c.AnchorIdx != traceio.NoAnchor &&
+			int(c.AnchorIdx) >= len(f.Meta.Anchors) {
+			need = true
+			break
+		}
+	}
+	if !need {
+		return
+	}
+	for _, c := range f.Chunks {
+		if c.Core != event.CorePPE {
+			continue
+		}
+		recs, _, err := traceio.DecodeChunk(c)
+		if err != nil {
+			continue
+		}
+		for _, rec := range recs {
+			if rec.ID == event.LiveAnchor && len(rec.Args) == 3 {
+				f.Meta.Anchors = append(f.Meta.Anchors, traceio.Anchor{
+					SPE:      int(rec.Args[0]),
+					Timebase: rec.Args[1],
+					Loaded:   uint32(rec.Args[2]),
+					Program:  rec.Str,
+				})
+			}
+		}
+	}
+}
+
 // stringDef is one interned string observed while decoding a chunk.
 type stringDef struct {
 	ref uint64
@@ -265,6 +307,7 @@ func fromFile(ctx context.Context, f *traceio.File, workers int, lenient bool, l
 	if err := admitChunks(f, lim); err != nil {
 		return nil, err
 	}
+	resolveLiveAnchors(f)
 	tr := newTrace(f)
 	n := len(f.Chunks)
 	if n == 0 {

@@ -19,6 +19,7 @@ import (
 // Only after the order is fixed are the events transposed into the
 // columnar store.
 func FromFileSerial(f *traceio.File) (*Trace, error) {
+	resolveLiveAnchors(f)
 	tr := newTrace(f)
 	var events []Event
 	argWords := 0

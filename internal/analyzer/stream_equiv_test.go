@@ -1,0 +1,405 @@
+package analyzer_test
+
+// Streaming-vs-batch equivalence: every registered workload is traced,
+// loaded through the batch pipeline, and streamed through StreamLoader
+// under hostile conditions (tiny windows, odd write slicing), asserting
+// the incremental kernels reproduce the batch kernels exactly — down to
+// the rendered report bytes. Runs under -race in CI, which also
+// exercises the Snapshot-vs-Write locking.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/core"
+	"github.com/celltrace/pdt/internal/core/traceio"
+	"github.com/celltrace/pdt/internal/harness"
+	"github.com/celltrace/pdt/internal/workloads"
+)
+
+// streamEquivParams mirrors load_equiv_test.go's small-but-representative
+// workload configurations.
+var streamEquivParams = map[string]map[string]string{
+	"matmul":    {"n": "64", "t": "16"},
+	"fft":       {"n": "256", "batches": "4"},
+	"pipeline":  {"blocks": "8", "blockbytes": "1024"},
+	"julia":     {"w": "64", "h": "32", "maxiter": "16", "mode": "dynamic"},
+	"histogram": {"size": "65536"},
+	"synthetic": {"events": "400", "gap": "100"},
+	"stream":    {"elements": "8192"},
+	"stencil":   {"w": "64", "h": "16", "iters": "2"},
+	"sort":      {"elements": "8192", "chunk": "1024"},
+	"nbody":     {"n": "64"},
+	"taskfarm":  {"tasks": "16", "blockbytes": "1024"},
+}
+
+// traceWorkload runs one workload under the harness and returns its
+// trace bytes.
+func traceWorkload(t *testing.T, name string) []byte {
+	t.Helper()
+	params, ok := streamEquivParams[name]
+	if !ok {
+		t.Fatalf("no equivalence params for workload %q — add it to streamEquivParams", name)
+	}
+	cfg := core.DefaultTraceConfig()
+	res, err := harness.Run(harness.Spec{Workload: name, Params: params, Trace: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.TraceBytes
+}
+
+// batchResults holds everything the batch pipeline derives from a trace.
+type batchResults struct {
+	tr      *analyzer.Trace
+	summary *analyzer.Summary
+	profile []analyzer.PairProfile
+	gaps    []analyzer.Gap
+	tags    []analyzer.TagStats
+	ppe     analyzer.PPEStats
+	eff     float64
+	minGap  uint64
+}
+
+// loadBatch runs the full batch pipeline, including Validate, over raw
+// trace bytes.
+func loadBatch(t *testing.T, data []byte) *batchResults {
+	t.Helper()
+	f, err := traceio.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := analyzer.FromFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzer.Validate(tr)
+	b := &batchResults{
+		tr:      tr,
+		summary: analyzer.Summarize(tr),
+		profile: analyzer.Profile(tr),
+		tags:    analyzer.TagBreakdown(tr),
+		ppe:     analyzer.SummarizePPE(tr),
+		eff:     analyzer.EffectiveConcurrency(tr),
+		minGap:  analyzer.SuggestGapThreshold(tr),
+	}
+	b.gaps = analyzer.FindGaps(tr, b.minGap)
+	return b
+}
+
+// streamIn feeds data to a fresh StreamLoader in writeSize slices and
+// finishes it.
+func streamIn(t *testing.T, data []byte, writeSize int, opts analyzer.StreamOptions) *analyzer.StreamResult {
+	t.Helper()
+	l := analyzer.NewStreamLoader(opts)
+	for off := 0; off < len(data); off += writeSize {
+		end := off + writeSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := l.Write(data[off:end]); err != nil {
+			t.Fatalf("Write at offset %d: %v", off, err)
+		}
+	}
+	res, err := l.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return res
+}
+
+// assertStreamMatchesBatch compares every kernel output, struct for
+// struct and rendered byte for byte.
+func assertStreamMatchesBatch(t *testing.T, want *batchResults, got *analyzer.StreamResult) {
+	t.Helper()
+	if !got.Complete {
+		t.Error("stream result not marked Complete on a clean trace")
+	}
+	if got.Events != int64(want.tr.NumEvents()) {
+		t.Errorf("events: stream %d, batch %d", got.Events, want.tr.NumEvents())
+	}
+	if !reflect.DeepEqual(got.Summary, want.summary) {
+		t.Errorf("summary differs:\nstream %+v\nbatch  %+v", got.Summary, want.summary)
+	}
+	if !reflect.DeepEqual(got.Profile, want.profile) {
+		t.Errorf("profile differs:\nstream %+v\nbatch  %+v", got.Profile, want.profile)
+	}
+	if !reflect.DeepEqual(got.Gaps, want.gaps) {
+		t.Errorf("gaps differ:\nstream %+v\nbatch  %+v", got.Gaps, want.gaps)
+	}
+	if !reflect.DeepEqual(got.Tags, want.tags) {
+		t.Errorf("tags differ:\nstream %+v\nbatch  %+v", got.Tags, want.tags)
+	}
+	if !reflect.DeepEqual(got.PPE, want.ppe) {
+		t.Errorf("ppe stats differ:\nstream %+v\nbatch  %+v", got.PPE, want.ppe)
+	}
+	if got.EffectiveConcurrency != want.eff {
+		t.Errorf("effective concurrency: stream %v, batch %v", got.EffectiveConcurrency, want.eff)
+	}
+	if !reflect.DeepEqual(got.Trace.Confidence, want.tr.Confidence) {
+		t.Errorf("confidence differs:\nstream %+v\nbatch  %+v", got.Trace.Confidence, want.tr.Confidence)
+	}
+	if !reflect.DeepEqual(got.Trace.Issues, want.tr.Issues) {
+		t.Errorf("issues differ:\nstream %v\nbatch  %v", got.Trace.Issues, want.tr.Issues)
+	}
+	if !reflect.DeepEqual(got.Trace.Strings, want.tr.Strings) {
+		t.Errorf("strings differ:\nstream %v\nbatch  %v", got.Trace.Strings, want.tr.Strings)
+	}
+	if got.Trace.Truncated != want.tr.Truncated {
+		t.Errorf("truncated: stream %v, batch %v", got.Trace.Truncated, want.tr.Truncated)
+	}
+
+	// Byte-identical rendered outputs: the summary report, the JSON
+	// export, the profile table, and the gap report.
+	var wantBuf, gotBuf bytes.Buffer
+	analyzer.Report(want.tr, want.summary, &wantBuf)
+	got.Report(&gotBuf)
+	if wantBuf.String() != gotBuf.String() {
+		t.Errorf("rendered report differs:\n--- batch ---\n%s\n--- stream ---\n%s", wantBuf.String(), gotBuf.String())
+	}
+	wantBuf.Reset()
+	gotBuf.Reset()
+	if err := analyzer.WriteJSON(want.tr, want.summary, &wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := analyzer.WriteJSON(got.Trace, got.Summary, &gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if wantBuf.String() != gotBuf.String() {
+		t.Errorf("JSON summary differs:\n--- batch ---\n%s\n--- stream ---\n%s", wantBuf.String(), gotBuf.String())
+	}
+	wantBuf.Reset()
+	gotBuf.Reset()
+	analyzer.WriteProfilePairs(want.tr, want.profile, &wantBuf)
+	analyzer.WriteProfilePairs(got.Trace, got.Profile, &gotBuf)
+	if wantBuf.String() != gotBuf.String() {
+		t.Errorf("profile table differs:\n--- batch ---\n%s\n--- stream ---\n%s", wantBuf.String(), gotBuf.String())
+	}
+	wantBuf.Reset()
+	gotBuf.Reset()
+	analyzer.WriteGapsFound(want.minGap, want.gaps, 10, &wantBuf)
+	analyzer.WriteGapsFound(want.minGap, got.Gaps, 10, &gotBuf)
+	if wantBuf.String() != gotBuf.String() {
+		t.Errorf("gap report differs:\n--- batch ---\n%s\n--- stream ---\n%s", wantBuf.String(), gotBuf.String())
+	}
+}
+
+// TestStreamMatchesBatchAllWorkloads is the headline equivalence suite:
+// all workloads, a window small enough to force many segment folds, and
+// an odd write size so records split across Write boundaries constantly.
+func TestStreamMatchesBatchAllWorkloads(t *testing.T) {
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			data := traceWorkload(t, name)
+			want := loadBatch(t, data)
+			got := streamIn(t, data, 977, analyzer.StreamOptions{
+				Limits:      analyzer.Limits{StreamWindowBytes: 1 << 14},
+				GapMinTicks: want.minGap,
+				Validate:    true,
+			})
+			assertStreamMatchesBatch(t, want, got)
+		})
+	}
+}
+
+// TestStreamWriteSlicings re-streams one workload under several write
+// slicings, including byte-at-a-time, and several window budgets —
+// the result must never depend on how the bytes arrive.
+func TestStreamWriteSlicings(t *testing.T) {
+	data := traceWorkload(t, "synthetic")
+	want := loadBatch(t, data)
+	for _, tc := range []struct {
+		name      string
+		writeSize int
+		window    int64
+	}{
+		{"byte-at-a-time", 1, 1 << 12},
+		{"tiny-window", 4096, 1 << 10},
+		{"page-writes", 4096, 1 << 20},
+		{"one-shot", len(data), 0}, // 0 window = default
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := streamIn(t, data, tc.writeSize, analyzer.StreamOptions{
+				Limits:      analyzer.Limits{StreamWindowBytes: tc.window},
+				GapMinTicks: want.minGap,
+				Validate:    true,
+			})
+			assertStreamMatchesBatch(t, want, got)
+		})
+	}
+}
+
+// TestStreamTruncationMatchesBatch cuts the trace at arbitrary byte
+// offsets and asserts the streaming loader lands in the same truncation
+// state as batch Parse+FromFile: same summary, same issues, same
+// confidence. This covers the drop-the-partial-final-chunk semantics.
+func TestStreamTruncationMatchesBatch(t *testing.T) {
+	data := traceWorkload(t, "matmul")
+	for _, frac := range []int{30, 55, 80, 95, 99} {
+		cut := len(data) * frac / 100
+		t.Run(string(rune('0'+frac/10))+string(rune('0'+frac%10))+"pct", func(t *testing.T) {
+			trunc := data[:cut]
+			f, err := traceio.Parse(trunc)
+			if err != nil {
+				t.Skipf("batch Parse rejects this cut (%v) — nothing to compare", err)
+			}
+			tr, err := analyzer.FromFile(f)
+			if err != nil {
+				t.Skipf("batch load rejects this cut (%v)", err)
+			}
+			want := &batchResults{
+				tr:      tr,
+				summary: analyzer.Summarize(tr),
+				profile: analyzer.Profile(tr),
+				tags:    analyzer.TagBreakdown(tr),
+				ppe:     analyzer.SummarizePPE(tr),
+				eff:     analyzer.EffectiveConcurrency(tr),
+			}
+			got := streamIn(t, trunc, 977, analyzer.StreamOptions{})
+			if !tr.Truncated {
+				t.Fatal("expected a truncated batch load")
+			}
+			if got.Complete {
+				t.Error("stream result marked Complete on truncated input")
+			}
+			if !got.Trace.Truncated {
+				t.Error("stream result not marked Truncated")
+			}
+			if !reflect.DeepEqual(got.Summary, want.summary) {
+				t.Errorf("summary differs:\nstream %+v\nbatch  %+v", got.Summary, want.summary)
+			}
+			if !reflect.DeepEqual(got.Profile, want.profile) {
+				t.Errorf("profile differs:\nstream %+v\nbatch  %+v", got.Profile, want.profile)
+			}
+			if !reflect.DeepEqual(got.PPE, want.ppe) {
+				t.Errorf("ppe differs:\nstream %+v\nbatch  %+v", got.PPE, want.ppe)
+			}
+			if got.EffectiveConcurrency != want.eff {
+				t.Errorf("effective concurrency: stream %v, batch %v", got.EffectiveConcurrency, want.eff)
+			}
+			if !reflect.DeepEqual(got.Trace.Issues, want.tr.Issues) {
+				t.Errorf("issues differ:\nstream %v\nbatch  %v", got.Trace.Issues, want.tr.Issues)
+			}
+			if !reflect.DeepEqual(got.Trace.Confidence, want.tr.Confidence) {
+				t.Errorf("confidence differs:\nstream %+v\nbatch  %+v", got.Trace.Confidence, want.tr.Confidence)
+			}
+		})
+	}
+}
+
+// TestStreamSnapshotConcurrent hammers Snapshot from other goroutines
+// while the stream is being written — the live-tail access pattern. The
+// -race run is the real assertion; the checks here just keep the
+// snapshots honest (monotone byte counts, final equality).
+func TestStreamSnapshotConcurrent(t *testing.T) {
+	data := traceWorkload(t, "julia")
+	want := loadBatch(t, data)
+	l := analyzer.NewStreamLoader(analyzer.StreamOptions{
+		Limits: analyzer.Limits{StreamWindowBytes: 1 << 12},
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastBytes int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := l.Snapshot()
+				if snap.Bytes < lastBytes {
+					t.Errorf("snapshot bytes went backwards: %d after %d", snap.Bytes, lastBytes)
+					return
+				}
+				lastBytes = snap.Bytes
+			}
+		}()
+	}
+	for off := 0; off < len(data); off += 512 {
+		end := off + 512
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := l.Write(data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	res, err := l.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Summary, want.summary) {
+		t.Errorf("final summary differs from batch after concurrent snapshots")
+	}
+}
+
+// TestStreamFile covers the file-streaming convenience wrapper.
+func TestStreamFile(t *testing.T) {
+	data := traceWorkload(t, "histogram")
+	want := loadBatch(t, data)
+	path := t.TempDir() + "/trace.pdt"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := analyzer.StreamFile(context.Background(), path, analyzer.StreamOptions{
+		GapMinTicks: want.minGap,
+		Validate:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStreamMatchesBatch(t, want, got)
+}
+
+// TestStreamLimits checks the streaming admission controls: cumulative
+// file size and the decoded-record budget latch mid-stream.
+func TestStreamLimits(t *testing.T) {
+	data := traceWorkload(t, "synthetic")
+	t.Run("file-bytes", func(t *testing.T) {
+		l := analyzer.NewStreamLoader(analyzer.StreamOptions{
+			Limits: analyzer.Limits{MaxFileBytes: int64(len(data) / 2)},
+		})
+		var failed error
+		for off := 0; off < len(data) && failed == nil; off += 4096 {
+			end := off + 4096
+			if end > len(data) {
+				end = len(data)
+			}
+			_, failed = l.Write(data[off:end])
+		}
+		if failed == nil {
+			t.Fatal("expected MaxFileBytes to reject the stream")
+		}
+		if _, err := l.Finish(); err == nil {
+			t.Fatal("Finish after a latched error must fail")
+		}
+	})
+	t.Run("record-budget", func(t *testing.T) {
+		l := analyzer.NewStreamLoader(analyzer.StreamOptions{
+			Limits: analyzer.Limits{MaxDecodeBytes: 1 << 10},
+		})
+		var failed error
+		for off := 0; off < len(data) && failed == nil; off += 4096 {
+			end := off + 4096
+			if end > len(data) {
+				end = len(data)
+			}
+			_, failed = l.Write(data[off:end])
+		}
+		if failed == nil {
+			t.Fatal("expected the decode budget to reject the stream")
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package analyzer_test
+
+// FuzzStreamDecode feeds mutated trace images through the incremental
+// StreamLoader in adversarial write slicings with a tiny memory window,
+// and checks it against the batch pipeline on the same bytes: no
+// panics ever, error parity (the stream fails exactly when batch
+// loading fails), and on success the incremental kernels reproduce the
+// batch summary, event count, and truncation flag.
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/core/traceio"
+)
+
+func FuzzStreamDecode(f *testing.F) {
+	f.Add(uint32(0), uint8(4), uint8(0), uint16(0), uint16(1))     // clean trace, byte-at-a-time writes
+	f.Add(uint32(0), uint8(4), uint8(0), uint16(0), uint16(977))   // clean trace, odd slicing
+	f.Add(uint32(0), uint8(0), uint8(0x5A), uint16(0), uint16(64)) // header flip
+	f.Add(uint32(30), uint8(1), uint8(0xC5), uint16(0), uint16(7)) // fake chunk magic inserted
+	f.Add(uint32(60), uint8(2), uint8(0), uint16(0), uint16(128))  // delete inside meta
+	f.Add(uint32(0), uint8(3), uint8(0), uint16(9), uint16(33))    // footer-only truncation
+	f.Add(uint32(100), uint8(0), uint8(0xFF), uint16(50), uint16(256))
+	f.Add(uint32(0), uint8(3), uint8(0), uint16(500), uint16(3)) // deep truncation
+
+	f.Fuzz(func(t *testing.T, pos uint32, op, val uint8, cut uint16, writeSize uint16) {
+		data := append([]byte(nil), buildColFuzzTrace(t)...)
+		p := int(pos) % len(data)
+		switch op % 5 {
+		case 0: // flip
+			data[p] ^= val | 1
+		case 1: // insert
+			data = append(data[:p], append([]byte{val}, data[p:]...)...)
+		case 2: // delete
+			data = append(data[:p], data[p+1:]...)
+		case 3: // truncate from the end
+			n := int(cut) % (len(data) + 1)
+			data = data[:len(data)-n]
+		case 4: // clean — exercise the equality path
+		}
+
+		// Batch reference: structural parse plus the eager load.
+		var batchTr *analyzer.Trace
+		file, batchErr := traceio.Parse(data)
+		if batchErr == nil {
+			batchTr, batchErr = analyzer.FromFile(file)
+		}
+
+		// Stream the same bytes in hostile slicings under a tiny window,
+		// so chunks are cut into many pieces and every rollback path runs.
+		step := int(writeSize)%4096 + 1
+		l := analyzer.NewStreamLoader(analyzer.StreamOptions{
+			Limits: analyzer.Limits{StreamWindowBytes: 1 << 12},
+		})
+		var streamErr error
+		for off := 0; off < len(data) && streamErr == nil; off += step {
+			end := off + step
+			if end > len(data) {
+				end = len(data)
+			}
+			_, streamErr = l.Write(data[off:end])
+		}
+		var res *analyzer.StreamResult
+		if streamErr == nil {
+			res, streamErr = l.Finish()
+		}
+
+		if batchErr != nil {
+			// The stream parser is never laxer than batch loading.
+			if streamErr == nil {
+				t.Fatalf("stream accepted input batch rejects: batch err %v", batchErr)
+			}
+			return
+		}
+		if streamErr != nil {
+			// Strictly-stream failures are allowed only in a truncated
+			// tail: batch drops a cut-off final chunk wholesale, while the
+			// stream must judge each chunk header the moment it arrives.
+			if !batchTr.Truncated {
+				t.Fatalf("stream rejected a clean batch-loadable trace: %v", streamErr)
+			}
+			return
+		}
+
+		if res.Trace.Truncated != batchTr.Truncated {
+			t.Fatalf("truncated: stream %v, batch %v", res.Trace.Truncated, batchTr.Truncated)
+		}
+		if batchTr.Truncated {
+			// A cut-off final chunk: batch drops it whole, but pieces the
+			// bounded window already folded are irreversible in the stream —
+			// the stream may only ever know MORE of the tail, never less.
+			if res.Events < int64(batchTr.NumEvents()) {
+				t.Fatalf("truncated stream lost events: stream %d, batch %d",
+					res.Events, batchTr.NumEvents())
+			}
+			return
+		}
+		if res.Events != int64(batchTr.NumEvents()) {
+			t.Fatalf("events: stream %d, batch %d", res.Events, batchTr.NumEvents())
+		}
+		if want := analyzer.Summarize(batchTr); !reflect.DeepEqual(res.Summary, want) {
+			t.Fatalf("summary differs:\nstream %+v\nbatch  %+v", res.Summary, want)
+		}
+	})
+}

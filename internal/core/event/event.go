@@ -167,6 +167,11 @@ const (
 	PPEWaitTagEnter // args: spe, mask
 	PPEWaitTagExit  // args: spe, mask
 
+	// LiveAnchor carries a clock anchor in-band: live streams emit one
+	// as each SPE run starts, because their metadata was written before
+	// any run existed. args: spe, timebase, loaded; payload: program.
+	LiveAnchor
+
 	maxID
 )
 
@@ -244,6 +249,8 @@ var table = [maxID]Info{
 	PPEDMAPut:       {Name: "PPE_DMA_PUT", Group: GroupHost, Kind: KindPoint, Args: []string{"spe", "lsOff", "ea", "size", "tag"}},
 	PPEWaitTagEnter: {Name: "PPE_WAIT_TAG_ENTER", Group: GroupHost, Kind: KindEnter, Args: []string{"spe", "mask"}, Pair: PPEWaitTagExit},
 	PPEWaitTagExit:  {Name: "PPE_WAIT_TAG_EXIT", Group: GroupHost, Kind: KindExit, Args: []string{"spe", "mask"}, Pair: PPEWaitTagEnter},
+
+	LiveAnchor: {Name: "LIVE_ANCHOR", Group: GroupOverhead, Kind: KindPoint, Args: []string{"spe", "timebase", "loaded"}},
 }
 
 func init() {

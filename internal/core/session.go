@@ -31,6 +31,10 @@ type Session struct {
 	anchors []traceio.Anchor
 	drops   map[int]uint64
 
+	// live, when non-nil, mirrors the trace onto a second sink as the
+	// run executes; see AttachLive.
+	live *liveWriter
+
 	// nextPPECore assigns a distinct record core to every PPE thread so
 	// their event streams stay individually ordered (main = CorePPE,
 	// then counting down).

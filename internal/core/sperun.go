@@ -35,8 +35,13 @@ type speRun struct {
 	recsInHalf   uint64
 	recsInRegion uint64  // records flushed since the last wrap
 	inFlight     [2]bool // a flush DMA for this half is outstanding
-	finished     bool
-	stoppedFull  bool // main region exhausted; drop further records
+	// inFlightBytes is the region footprint of each half's outstanding
+	// flush; the live stream may only publish bytes below all of them.
+	inFlightBytes [2]int
+	// liveMark is the region offset already published to the live stream.
+	liveMark    int
+	finished    bool
+	stoppedFull bool // main region exhausted; drop further records
 }
 
 // newSPERun allocates the main-memory region, records the clock anchor,
@@ -63,6 +68,7 @@ func (s *Session) newSPERun(u cell.SPU, name string) *speRun {
 		SPE: spe, Timebase: tb, Loaded: loaded, Program: name,
 	})
 	s.runs = append(s.runs, run)
+	s.liveAnchor(spe, tb, loaded, name)
 	return run
 }
 
@@ -171,11 +177,17 @@ func (r *speRun) flush(final bool) {
 				if r.inFlight[h] {
 					r.u.WaitTagAll(1 << uint(r.flushTag(h)))
 					r.inFlight[h] = false
+					r.inFlightBytes[h] = 0
 				}
 			}
 			r.s.drops[r.spe] += r.recsInRegion
 			r.recsInRegion = 0
 			r.regionUsed = 0
+			// The live stream restarts with the region: anything already
+			// published before the wrap stays in the stream even though
+			// the sealed file will drop it (live tails of wrap-mode runs
+			// are a superset of the final trace).
+			r.liveMark = 0
 		}
 		if r.regionUsed+padded > r.regionSize {
 			// Main region exhausted: drop this bufferful.
@@ -204,6 +216,7 @@ func (r *speRun) flush(final bool) {
 			}
 			r.regionUsed += padded
 			r.inFlight[r.half] = true
+			r.inFlightBytes[r.half] = padded
 			r.s.flushes++
 			r.s.flushBytes += uint64(padded)
 			r.recsInRegion += r.recsInHalf
@@ -217,10 +230,12 @@ func (r *speRun) flush(final bool) {
 				if r.inFlight[r.half] {
 					r.u.WaitTagAll(1 << uint(r.flushTag(r.half)))
 					r.inFlight[r.half] = false
+					r.inFlightBytes[r.half] = 0
 				}
 			} else {
 				r.u.WaitTagAll(1 << uint(r.flushTag(r.half)))
 				r.inFlight[r.half] = false
+				r.inFlightBytes[r.half] = 0
 			}
 			if !final {
 				cycles := r.u.Now() - start
@@ -241,8 +256,10 @@ func (r *speRun) flush(final bool) {
 			if r.inFlight[h] {
 				r.u.WaitTagAll(1 << uint(r.flushTag(h)))
 				r.inFlight[h] = false
+				r.inFlightBytes[h] = 0
 			}
 		}
 		r.s.flushCycles += r.u.Now() - start
 	}
+	r.s.liveFlush(r)
 }

@@ -33,10 +33,23 @@ type Limits struct {
 	// representation may take (enforced by the analyzer, which knows its
 	// per-event footprint).
 	MaxDecodeBytes int64
+	// StreamWindowBytes budgets the working memory of a streaming load
+	// (analyzer.StreamLoader): decoded-but-unmerged chunks are folded into
+	// the incremental kernels whenever their footprint reaches this
+	// window. It bounds resident memory, not input size — unlike the caps
+	// above it is a pacing knob, not admission control, so setting it
+	// alone does not flip Unlimited. Zero means the streaming default.
+	StreamWindowBytes int64
 }
 
-// Unlimited reports whether every field is zero (no admission control).
-func (l Limits) Unlimited() bool { return l == Limits{} }
+// Unlimited reports whether every admission-control field is zero.
+// StreamWindowBytes is excluded: it paces streaming memory but admits
+// nothing, so a window on its own leaves the trusted-operator behavior
+// (no caps) intact.
+func (l Limits) Unlimited() bool {
+	l.StreamWindowBytes = 0
+	return l == Limits{}
+}
 
 // DefaultServiceLimits are the admission-control bounds pdt-tad ships
 // with: generous enough for any trace the simulator produces, small

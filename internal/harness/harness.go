@@ -35,6 +35,12 @@ type Spec struct {
 	Trace *core.Config
 	// TracePath, when non-empty, also writes the trace file there.
 	TracePath string
+	// LivePath, when non-empty, mirrors the trace onto this file while
+	// the simulation runs (live-tail): header and metadata up front,
+	// then a chunk per completed flush DMA. The stream is sealed with a
+	// footer on clean completion and left truncated after a crash,
+	// exactly the shape a dying writer leaves. Requires Trace.
+	LivePath string
 	// SkipVerify skips result verification (overhead sweeps that run
 	// many configurations use it to save host time, never correctness
 	// tests).
@@ -104,13 +110,28 @@ func RunContext(ctx context.Context, spec Spec) (*Result, error) {
 		m.CrashAt(kill)
 	}
 
+	if spec.LivePath != "" && spec.Trace == nil {
+		return nil, errors.New("harness: LivePath requires tracing (Trace config)")
+	}
 	var session *core.Session
+	var liveFile *os.File
 	if spec.Trace != nil {
 		cfg := *spec.Trace
 		cfg.Workload = spec.Workload
 		cfg.Params = w.Params()
 		session = core.NewSession(m, cfg)
 		session.Attach()
+		if spec.LivePath != "" {
+			lf, err := os.Create(spec.LivePath)
+			if err != nil {
+				return nil, err
+			}
+			defer lf.Close()
+			if err := session.AttachLive(lf); err != nil {
+				return nil, err
+			}
+			liveFile = lf
+		}
 		if !plan.Empty() {
 			// Stalls target only the DMA tags the tracer flushes on;
 			// workload transfers are left alone.
@@ -139,6 +160,13 @@ func RunContext(ctx context.Context, spec Spec) (*Result, error) {
 	if !spec.SkipVerify && !crashed {
 		if err := w.Verify(m); err != nil {
 			return nil, fmt.Errorf("harness: verification: %w", err)
+		}
+	}
+	if liveFile != nil && !crashed {
+		// Seal the live stream; a crash leaves it truncated, footerless,
+		// exactly as a real dying writer would.
+		if err := session.CloseLive(); err != nil {
+			return nil, fmt.Errorf("harness: live stream: %w", err)
 		}
 	}
 	res := &Result{Cycles: m.Now(), Machine: m, Crashed: crashed}

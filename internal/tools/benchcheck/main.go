@@ -35,7 +35,7 @@ type suite struct {
 // lives in the repo-root package; BenchmarkTADSummary is the service's
 // end-to-end request path.
 var suites = []suite{
-	{".", "^(BenchmarkLoadLargeTrace|BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace|BenchmarkGapsLargeTrace|BenchmarkDiffLargeTrace)$"},
+	{".", "^(BenchmarkLoadLargeTrace|BenchmarkLoadStream|BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace|BenchmarkGapsLargeTrace|BenchmarkDiffLargeTrace)$"},
 	{"./cmd/pdt-tad", "^BenchmarkTADSummary$"},
 }
 
