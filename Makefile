@@ -5,7 +5,7 @@ GO ?= go
 # `make cover-check`. Update it deliberately (and review why) when
 # coverage genuinely moves; it should trail the measured total by a
 # small margin so routine refactors don't trip it.
-COVER_BASELINE ?= 84.0
+COVER_BASELINE ?= 84.2
 
 .PHONY: ci fmt vet staticcheck build test race bench bench-analysis bench-analysis-short \
 	bench-check bench-check-short bench-baseline cover cover-check fuzz-smoke fuzz smoke-tad \
@@ -51,18 +51,19 @@ bench:
 # Profile/ComputeCriticalPath and warm vs cold pdt-tad summary (the
 # warm/cold split is the cache speedup recorded in EXPERIMENTS.md).
 bench-analysis:
-	$(GO) test -run '^$$' -bench 'BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace|BenchmarkGapsLargeTrace|BenchmarkDiffLargeTrace' -benchtime 10x .
+	$(GO) test -run '^$$' -bench 'BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace|BenchmarkGapsLargeTrace|BenchmarkDiffLargeTrace|BenchmarkCyclesLargeTrace|BenchmarkDiffAlignLargeTrace' -benchtime 10x .
 	$(GO) test -run '^$$' -bench BenchmarkTADSummary -benchtime 10x ./cmd/pdt-tad
 
 # One -short pass of the same benchmarks for ci: catches kernel/cache
 # regressions that only show up under -bench without the full cost.
 bench-analysis-short:
-	$(GO) test -run '^$$' -bench 'BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace|BenchmarkGapsLargeTrace|BenchmarkDiffLargeTrace' -benchtime 1x -short .
+	$(GO) test -run '^$$' -bench 'BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace|BenchmarkGapsLargeTrace|BenchmarkDiffLargeTrace|BenchmarkCyclesLargeTrace|BenchmarkDiffAlignLargeTrace' -benchtime 1x -short .
 	$(GO) test -run '^$$' -bench BenchmarkTADSummary -benchtime 1x -short ./cmd/pdt-tad
 
 # Benchmark regression gate: run the reference benchmarks (trace load,
 # interval profile, critical path, gap hunting, trace differencing,
-# end-to-end TAD summary) with -benchmem and fail on any ns/op, B/op or
+# cycle detection, align-mode cycle diffing, end-to-end TAD summary)
+# with -benchmem and fail on any ns/op, B/op or
 # allocs/op result >25% worse than BENCH_baseline.json. The short
 # variant (10x smaller traces) is what ci runs; bench-baseline rewrites
 # the committed baseline — only after verifying the change is real.
@@ -94,10 +95,13 @@ cover-check: cover
 
 # Replay the checked-in fuzz corpora (seed inputs + past findings) as
 # plain tests — fast, deterministic, no fuzzing engine. Covers the
-# salvage fuzzer and the pdt-tad HTTP-handler fuzzer.
+# salvage fuzzer, the pdt-tad HTTP-handler fuzzer, and the cycle
+# detection / align-diff fuzzers.
 fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/core/traceio ./cmd/pdt-tad ./internal/jobs ./internal/cluster
 	$(GO) test -run 'FuzzColumnarRoundTrip|FuzzStreamDecode' ./internal/analyzer
+	$(GO) test -run 'FuzzCycles' ./internal/analyzer/cycles
+	$(GO) test -run 'FuzzDiffAlign' ./internal/analyzer/diff
 
 # Service-level chaos drill under the race detector: kill the daemon at
 # every job phase and assert journal replay converges byte-identically
@@ -119,6 +123,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTADHandler -fuzztime 60s ./cmd/pdt-tad
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 60s ./internal/jobs
 	$(GO) test -run '^$$' -fuzz FuzzStreamDecode -fuzztime 60s ./internal/analyzer
+	$(GO) test -run '^$$' -fuzz FuzzCycles -fuzztime 60s ./internal/analyzer/cycles
+	$(GO) test -run '^$$' -fuzz FuzzDiffAlign -fuzztime 60s ./internal/analyzer/diff
 
 # End-to-end service smoke test: builds the real pdt-tad binary, starts
 # it, and checks the operator contract — 200 on the golden trace, 413

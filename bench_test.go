@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/analyzer/cycles"
 	"github.com/celltrace/pdt/internal/analyzer/diff"
 	"github.com/celltrace/pdt/internal/core"
 	"github.com/celltrace/pdt/internal/core/event"
@@ -330,6 +331,75 @@ func BenchmarkDiffLargeTrace(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := diff.DiffSerial(tr, tr, diff.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// largeCyclicTrace loads the standard iterative benchmark trace (a deep
+// pipeline run, so every SPE carries a long cycle structure) for the
+// cycle-detection and align-diff benchmarks.
+func largeCyclicTrace(b *testing.B) *analyzer.Trace {
+	b.Helper()
+	blocks := 64
+	if testing.Short() {
+		blocks = 8
+	}
+	cfg := core.DefaultTraceConfig()
+	res, err := harness.Run(harness.Spec{
+		Workload: "pipeline",
+		Params:   map[string]string{"blocks": fmt.Sprint(blocks), "blockbytes": "4096"},
+		Trace:    &cfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := analyzer.Load(bytes.NewReader(res.TraceBytes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("trace: %d bytes, %d events", len(res.TraceBytes), tr.NumEvents())
+	return tr
+}
+
+// BenchmarkCyclesLargeTrace measures cycle/phase detection on the
+// standard iterative trace: the per-run parallel fan-out against the
+// serial reference.
+func BenchmarkCyclesLargeTrace(b *testing.B) {
+	tr := largeCyclicTrace(b)
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cycles.Detect(tr, cycles.Options{})
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cycles.DetectSerial(tr, cycles.Options{})
+		}
+	})
+}
+
+// BenchmarkDiffAlignLargeTrace measures a cycle-aware align-mode diff
+// end to end — detection on both sides plus the LCS alignment — on the
+// standard iterative trace (self-diff, same rationale as
+// BenchmarkDiffLargeTrace).
+func BenchmarkDiffAlignLargeTrace(b *testing.B) {
+	tr := largeCyclicTrace(b)
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := diff.Diff(tr, tr, diff.Options{Mode: diff.ModeAlign}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := diff.DiffSerial(tr, tr, diff.Options{Mode: diff.ModeAlign}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -72,6 +72,64 @@ func TestGoldenReport(t *testing.T) {
 	checkGolden(t, "report.golden", out.Bytes())
 }
 
+// goldenPipelineTrace runs the pipeline workload (iterative: 8 blocks
+// through 8 stages), which is what the cycle goldens need — julia's
+// dynamic row scheduling has no per-run iteration structure.
+func goldenPipelineTrace(t *testing.T, groups event.Group) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.pdt")
+	cfg := core.DefaultTraceConfig()
+	cfg.Groups = groups
+	_, err := harness.Run(harness.Spec{
+		Workload:  "pipeline",
+		Params:    map[string]string{"blocks": "8", "blockbytes": "1024"},
+		Trace:     &cfg,
+		TracePath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGoldenCycles pins `pdt-ta cycles` text and JSON byte-for-byte on
+// the pipeline workload (every stage detects blocks=8 cycles).
+func TestGoldenCycles(t *testing.T) {
+	path := goldenPipelineTrace(t, event.GroupAll)
+
+	var text bytes.Buffer
+	if err := run([]string{"cycles", path}, &text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cycles.golden", text.Bytes())
+
+	var js bytes.Buffer
+	if err := run([]string{"cycles", "-json", path}, &js); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cycles.json.golden", js.Bytes())
+}
+
+// TestGoldenDiffAlign pins `pdt-ta diff -mode align` — the per-cycle
+// section rides on the pipeline reduced-vs-full diff, where signature
+// drift between the group configurations exercises real edits.
+func TestGoldenDiffAlign(t *testing.T) {
+	reduced := goldenPipelineTrace(t, event.GroupLifecycle|event.GroupMFC)
+	full := goldenPipelineTrace(t, event.GroupAll)
+
+	var text bytes.Buffer
+	if err := run([]string{"diff", "-mode", "align", reduced, full}, &text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diff.align.golden", text.Bytes())
+
+	var js bytes.Buffer
+	if err := run([]string{"diff", "-mode", "align", "-json", reduced, full}, &js); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diff.align.json.golden", js.Bytes())
+}
+
 // TestGoldenDiff pins `pdt-ta diff` for the reduced-vs-full comparison
 // the overhead experiments use, in both text and JSON form.
 func TestGoldenDiff(t *testing.T) {

@@ -17,6 +17,8 @@
 //	pdt-ta bw -n 20 trace.pdt
 //	pdt-ta compare before.pdt after.pdt
 //	pdt-ta diff baseline.pdt instrumented.pdt
+//	pdt-ta diff -mode align before.pdt after.pdt
+//	pdt-ta cycles trace.pdt
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/analyzer/cycles"
 	"github.com/celltrace/pdt/internal/analyzer/diff"
 	"github.com/celltrace/pdt/internal/core/traceio"
 )
@@ -97,7 +100,7 @@ func report(tr *analyzer.Trace, out io.Writer) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: pdt-ta <summary|report|timeline|svg|html|csv|json|validate|doctor|events|profile|tags|intervals|slack|bw|compensate|critpath|gaps|compare|diff> [flags] trace.pdt [trace2.pdt]")
+	return fmt.Errorf("usage: pdt-ta <summary|report|timeline|svg|html|csv|json|validate|doctor|events|profile|tags|intervals|slack|bw|compensate|critpath|gaps|cycles|compare|diff> [flags] trace.pdt [trace2.pdt]")
 }
 
 func run(args []string, out io.Writer) error {
@@ -112,7 +115,8 @@ func run(args []string, out io.Writer) error {
 	svgOut := fs.String("o", "", "output path (svg; empty = stdout)")
 	maxEvents := fs.Int("n", 0, "max events to print (events; 0 = all)")
 	gapTicks := fs.Int("min", 0, "minimum gap ticks (gaps; 0 = auto threshold)")
-	asJSON := fs.Bool("json", false, "emit JSON instead of text (diff)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of text (diff, cycles)")
+	mode := fs.String("mode", "", "per-cycle diff mode: match or align (diff; empty = off)")
 	follow := fs.Bool("follow", false, "tail a still-growing trace (pdt-run -live) and report when it seals (summary)")
 	poll := fs.Duration("poll", 500*time.Millisecond, "file poll interval in follow mode")
 	idle := fs.Duration("idle", 0, "give up and report after the file stops growing for this long (follow; 0 = wait forever)")
@@ -169,10 +173,17 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rep, err := diff.Diff(tr, tr2, diff.Options{})
+		rep, err := diff.Diff(tr, tr2, diff.Options{Mode: *mode})
 		if err != nil {
 			return err
 		}
+		if *asJSON {
+			return rep.WriteJSON(out)
+		}
+		rep.Write(out)
+		return nil
+	case "cycles":
+		rep := cycles.Detect(tr, cycles.Options{})
 		if *asJSON {
 			return rep.WriteJSON(out)
 		}

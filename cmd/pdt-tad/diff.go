@@ -72,14 +72,19 @@ func diffSides(r *http.Request, data []byte) (a, b []byte, err error) {
 // once no matter how many diffs reference it), diff them, and emit the
 // structured report. A corrupt side comes back as a doctor-style 422
 // naming the side and carrying its recovery report with partial
-// confidence; a workload mismatch is a clear 400.
+// confidence; a workload mismatch or a bad ?mode= is a clear 400.
+//
+// The optional ?mode=match|align query parameter turns on the per-cycle
+// layer; with the cache enabled the cycle reports come from the handles'
+// memoized artifacts, so repeated cycle-aware diffs of the same images
+// never re-detect.
 func (s *server) renderDiff(ctx context.Context, r *http.Request, data []byte, w io.Writer) error {
 	da, db, err := diffSides(r, data)
 	if err != nil {
 		return err
 	}
 	var trA, trB *analyzer.Trace
-	var opt diff.Options
+	opt := diff.Options{Mode: r.URL.Query().Get("mode")}
 	if s.cache != nil {
 		ha, hb, err := s.cache.LoadPair(ctx, da, db, s.cfg.limits)
 		if err != nil {
@@ -87,6 +92,9 @@ func (s *server) renderDiff(ctx context.Context, r *http.Request, data []byte, w
 		}
 		trA, trB = ha.Trace(), hb.Trace()
 		opt.CritPathA, opt.CritPathB = ha.CriticalPath(), hb.CriticalPath()
+		if opt.Mode != "" {
+			opt.CyclesA, opt.CyclesB = ha.Cycles(), hb.Cycles()
+		}
 	} else {
 		if trA, err = s.loadDiffSide(ctx, "a", da); err != nil {
 			return err
@@ -97,7 +105,7 @@ func (s *server) renderDiff(ctx context.Context, r *http.Request, data []byte, w
 	}
 	rep, err := diff.Diff(trA, trB, opt)
 	if err != nil {
-		if errors.Is(err, diff.ErrWorkloadMismatch) {
+		if errors.Is(err, diff.ErrWorkloadMismatch) || errors.Is(err, diff.ErrBadMode) {
 			return &statusError{status: http.StatusBadRequest, err: err}
 		}
 		return err

@@ -88,7 +88,7 @@ func FuzzTADHandler(f *testing.F) {
 
 		s := newServer(defaultConfig(), quietLogger())
 		h := s.handler()
-		for _, path := range []string{"/v1/summary", "/v1/profile", "/v1/doctor"} {
+		for _, path := range []string{"/v1/summary", "/v1/profile", "/v1/cycles", "/v1/doctor"} {
 			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(data))
 			rec := httptest.NewRecorder()
 			h.ServeHTTP(rec, req)
@@ -112,16 +112,19 @@ func FuzzTADHandler(f *testing.F) {
 		// as side b: a clean diff, a 4xx, anything but a 500 — and the
 		// body must stay JSON either way. The raw mutated bytes are also
 		// thrown at the endpoint directly (they parse as neither encoding,
-		// which must map to a clean 400).
+		// which must map to a clean 400). The same pair goes through
+		// mode=align so the per-cycle layer sees mutated inputs too.
 		diffReqs := []struct {
+			path string
 			body []byte
 			ct   string
 		}{
-			{diffBody(t, valid, data), "multipart/form-data; boundary=" + diffBoundary},
-			{data, "application/octet-stream"},
+			{"/v1/diff", diffBody(t, valid, data), "multipart/form-data; boundary=" + diffBoundary},
+			{"/v1/diff?mode=align", diffBody(t, valid, data), "multipart/form-data; boundary=" + diffBoundary},
+			{"/v1/diff", data, "application/octet-stream"},
 		}
 		for _, dr := range diffReqs {
-			req := httptest.NewRequest(http.MethodPost, "/v1/diff", bytes.NewReader(dr.body))
+			req := httptest.NewRequest(http.MethodPost, dr.path, bytes.NewReader(dr.body))
 			req.Header.Set("Content-Type", dr.ct)
 			rec := httptest.NewRecorder()
 			h.ServeHTTP(rec, req)

@@ -265,6 +265,8 @@ func (s *server) renderFor(kind string) renderFunc {
 		return s.renderGaps
 	case cache.KindCritPath:
 		return s.renderCritPath
+	case cache.KindCycles:
+		return s.renderCycles
 	case cache.KindDoctor:
 		return s.renderDoctor
 	default:

@@ -16,6 +16,7 @@ import (
 
 	"github.com/celltrace/pdt/internal/analyzer"
 	"github.com/celltrace/pdt/internal/analyzer/cache"
+	"github.com/celltrace/pdt/internal/analyzer/cycles"
 	"github.com/celltrace/pdt/internal/cluster"
 	"github.com/celltrace/pdt/internal/faults"
 	"github.com/celltrace/pdt/internal/jobs"
@@ -213,6 +214,7 @@ func (s *server) handler() http.Handler {
 	mux.Handle("POST /v1/critpath", s.analysis("critpath", s.renderCritPath))
 	mux.Handle("POST /v1/doctor", s.analysis("doctor", s.renderDoctor))
 	mux.Handle("POST /v1/diff", s.analysis("diff", s.renderDiff))
+	mux.Handle("POST /v1/cycles", s.analysis("cycles", s.renderCycles))
 	mux.HandleFunc("POST /v1/upload", s.handleUploadCreate)
 	mux.HandleFunc("POST /v1/upload/{id}", s.handleUploadAppend)
 	mux.HandleFunc("POST /v1/upload/{id}/complete", s.handleUploadComplete)
@@ -410,6 +412,16 @@ func (s *server) renderCritPath(ctx context.Context, _ *http.Request, data []byt
 			return err
 		}
 		return analyzer.WriteCriticalPathJSON(analyzer.ComputeCriticalPath(tr), w)
+	})
+}
+
+func (s *server) renderCycles(ctx context.Context, _ *http.Request, data []byte, w io.Writer) error {
+	return s.artifact(ctx, cache.KindCycles, data, w, func() error {
+		tr, _, err := s.loadShared(ctx, data)
+		if err != nil {
+			return err
+		}
+		return cycles.Detect(tr, cycles.Options{}).WriteJSON(w)
 	})
 }
 

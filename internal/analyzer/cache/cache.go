@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/analyzer/cycles"
 )
 
 // Key is the content address of a trace image: SHA-256 over its bytes.
@@ -142,6 +143,7 @@ type flight struct {
 	gapMin   uint64
 	gaps     []analyzer.Gap
 	critpath *analyzer.CriticalPath
+	cycles   *cycles.Report
 	// arts memoizes the rendered JSON artifact bytes per kind — what
 	// the service actually serves, and what spills to the disk tier.
 	arts map[string][]byte
@@ -195,6 +197,16 @@ func (h *Handle) CriticalPath() *analyzer.CriticalPath {
 		h.f.critpath = analyzer.ComputeCriticalPath(h.f.trace)
 	}
 	return h.f.critpath
+}
+
+// Cycles returns the memoized cycle/phase detection report.
+func (h *Handle) Cycles() *cycles.Report {
+	h.f.memoMu.Lock()
+	defer h.f.memoMu.Unlock()
+	if h.f.cycles == nil {
+		h.f.cycles = cycles.Detect(h.f.trace, cycles.Options{})
+	}
+	return h.f.cycles
 }
 
 // Load returns a handle for the trace image, loading it at most once per
@@ -304,7 +316,7 @@ func (c *Cache) RawImage(key Key) ([]byte, bool) {
 }
 
 // AnalysisKinds lists the artifact kinds Artifact can produce.
-var AnalysisKinds = []string{KindSummary, KindProfile, KindGaps, KindCritPath, KindDoctor}
+var AnalysisKinds = []string{KindSummary, KindProfile, KindGaps, KindCritPath, KindCycles, KindDoctor}
 
 // ValidKind reports whether kind names a servable artifact.
 func ValidKind(kind string) bool {
@@ -335,6 +347,8 @@ func Render(kind string, h *Handle) ([]byte, error) {
 		err = analyzer.WriteGapsJSON(min, gaps, &buf)
 	case KindCritPath:
 		err = analyzer.WriteCriticalPathJSON(h.CriticalPath(), &buf)
+	case KindCycles:
+		err = h.Cycles().WriteJSON(&buf)
 	default:
 		return nil, fmt.Errorf("cache: unknown artifact kind %q", kind)
 	}

@@ -43,6 +43,7 @@ const (
 	KindProfile  = "profile"
 	KindGaps     = "gaps"
 	KindCritPath = "critpath"
+	KindCycles   = "cycles"
 	KindDoctor   = "doctor"
 )
 

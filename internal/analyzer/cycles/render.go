@@ -1,0 +1,187 @@
+package cycles
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// maxCycleRows caps the per-run cycle table in the text report; the
+// stats block always covers every cycle.
+const maxCycleRows = 40
+
+// round6 trims float noise for display; detection keeps full precision.
+func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// Write renders the human-readable cycle report. Output is byte-stable
+// for a given report (deterministic row order, fixed float precision)
+// so the pdt-ta golden tests can pin it.
+func (r *Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "cycle report: workload %s\n", r.Workload)
+	fmt.Fprintf(w, "runs: %d analyzed, %d with detected cycles, %d cycles total\n",
+		len(r.Runs), r.Detected(), r.TotalCycles)
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		fmt.Fprintf(w, "\n%s run %d: ", event.CoreName(run.Core), run.Run)
+		if !run.Detected {
+			fmt.Fprintf(w, "no repeating pattern detected (%d events, wall %d ticks)\n",
+				run.Events, run.End-run.Start)
+			continue
+		}
+		info, _ := event.Lookup(run.Anchor)
+		fmt.Fprintf(w, "%d cycles  anchor %s  score %.3f  (raw %d, trimmed %d)\n",
+			len(run.Cycles), info.Name, run.Score, run.Raw, run.Raw-len(run.Cycles))
+		wall := run.End - run.Start
+		ph := &run.Phases
+		fmt.Fprintf(w, "  phases: startup %d ticks (%.1f%%)  steady %d ticks (%.1f%%)  drain %d ticks (%.1f%%)\n",
+			ph.StartupTicks, pct(ph.StartupTicks, wall),
+			ph.SteadyTicks, pct(ph.SteadyTicks, wall),
+			ph.DrainTicks, pct(ph.DrainTicks, wall))
+		fmt.Fprintf(w, "  %-9s %10s %10s %12s %12s\n", "metric", "min", "max", "avg", "stddev")
+		for _, row := range []struct {
+			name string
+			st   *Stats
+		}{
+			{"wall", &run.Wall},
+			{"busy", &run.Busy},
+			{"stall", &run.Stall},
+			{"dma-wait", &run.DMAWait},
+		} {
+			fmt.Fprintf(w, "  %-9s %10d %10d %12.1f %12.1f\n",
+				row.name, row.st.Min, row.st.Max, row.st.Avg, row.st.Stddev)
+		}
+		fmt.Fprintf(w, "  %-5s %12s %8s %10s %10s %10s %10s\n",
+			"cycle", "start", "events", "wall", "busy", "stall", "dma-wait")
+		for j := range run.Cycles {
+			if j == maxCycleRows {
+				fmt.Fprintf(w, "  ... %d more cycles\n", len(run.Cycles)-maxCycleRows)
+				break
+			}
+			c := &run.Cycles[j]
+			fmt.Fprintf(w, "  %-5d %12d %8d %10d %10d %10d %10d\n",
+				c.Index, c.Start, c.Events, c.Wall, c.Busy, c.Stall, c.DMAWait)
+		}
+	}
+}
+
+// JSON mirror structs: field order (and therefore output bytes) is
+// fixed, floats are rounded to 1e-6 so the encoding never carries
+// accumulation noise.
+
+type jsonStats struct {
+	Min    uint64  `json:"min"`
+	Max    uint64  `json:"max"`
+	Avg    float64 `json:"avg"`
+	Stddev float64 `json:"stddev"`
+}
+
+func mirrorStats(s *Stats) jsonStats {
+	return jsonStats{Min: s.Min, Max: s.Max, Avg: round6(s.Avg), Stddev: round6(s.Stddev)}
+}
+
+type jsonCycle struct {
+	Index    int    `json:"index"`
+	Start    uint64 `json:"start"`
+	End      uint64 `json:"end"`
+	Events   int    `json:"events"`
+	Wall     uint64 `json:"wall"`
+	Busy     uint64 `json:"busy"`
+	Stall    uint64 `json:"stall"`
+	DMAWait  uint64 `json:"dmaWait"`
+	Sig      uint64 `json:"sig"`
+	StartSeq int    `json:"startSeq"`
+	EndSeq   int    `json:"endSeq"`
+}
+
+type jsonPhases struct {
+	StartupTicks uint64 `json:"startupTicks"`
+	SteadyTicks  uint64 `json:"steadyTicks"`
+	DrainTicks   uint64 `json:"drainTicks"`
+	SteadyStart  uint64 `json:"steadyStart"`
+	SteadyEnd    uint64 `json:"steadyEnd"`
+}
+
+type jsonRun struct {
+	Core     string      `json:"core"`
+	Run      int         `json:"run"`
+	Detected bool        `json:"detected"`
+	Anchor   string      `json:"anchor,omitempty"`
+	Score    float64     `json:"score,omitempty"`
+	Raw      int         `json:"rawCycles,omitempty"`
+	Events   int         `json:"events"`
+	Start    uint64      `json:"start"`
+	End      uint64      `json:"end"`
+	Phases   *jsonPhases `json:"phases,omitempty"`
+	Wall     *jsonStats  `json:"wall,omitempty"`
+	Busy     *jsonStats  `json:"busy,omitempty"`
+	Stall    *jsonStats  `json:"stall,omitempty"`
+	DMAWait  *jsonStats  `json:"dmaWait,omitempty"`
+	Cycles   []jsonCycle `json:"cycles,omitempty"`
+}
+
+type jsonReport struct {
+	Workload    string    `json:"workload"`
+	Runs        []jsonRun `json:"runs"`
+	TotalCycles int       `json:"totalCycles"`
+}
+
+// WriteJSON renders the machine-readable report (indented, stable field
+// order).
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{Workload: r.Workload, Runs: []jsonRun{}, TotalCycles: r.TotalCycles}
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		jr := jsonRun{
+			Core:     event.CoreName(run.Core),
+			Run:      run.Run,
+			Detected: run.Detected,
+			Events:   run.Events,
+			Start:    run.Start,
+			End:      run.End,
+		}
+		if run.Detected {
+			info, _ := event.Lookup(run.Anchor)
+			jr.Anchor = info.Name
+			jr.Score = round6(run.Score)
+			jr.Raw = run.Raw
+			ph := run.Phases
+			jph := jsonPhases(ph)
+			jr.Phases = &jph
+			for _, m := range []struct {
+				dst **jsonStats
+				src *Stats
+			}{
+				{&jr.Wall, &run.Wall},
+				{&jr.Busy, &run.Busy},
+				{&jr.Stall, &run.Stall},
+				{&jr.DMAWait, &run.DMAWait},
+			} {
+				st := mirrorStats(m.src)
+				*m.dst = &st
+			}
+			jr.Cycles = make([]jsonCycle, len(run.Cycles))
+			for j := range run.Cycles {
+				c := &run.Cycles[j]
+				jr.Cycles[j] = jsonCycle{
+					Index: c.Index, Start: c.Start, End: c.End, Events: c.Events,
+					Wall: c.Wall, Busy: c.Busy, Stall: c.Stall, DMAWait: c.DMAWait,
+					Sig: c.Sig, StartSeq: c.StartSeq, EndSeq: c.EndSeq,
+				}
+			}
+		}
+		out.Runs = append(out.Runs, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

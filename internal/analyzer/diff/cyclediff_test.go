@@ -1,0 +1,289 @@
+package diff_test
+
+// Property suite for the per-cycle diff layer. Anchors: self-diff in
+// align mode is identically zero with no insertions or deletions, swap
+// antisymmetry holds per cycle pair, align output is a valid common
+// subsequence (strictly increasing on both index axes with equal
+// signatures, edits exactly the complement), and the parallel kernel
+// stays DeepEqual to DiffSerial. FuzzDiffAlign extends FuzzDiff's
+// mutate/salvage loop to align mode.
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/analyzer/diff"
+	"github.com/celltrace/pdt/internal/core/event"
+)
+
+// checkCycleAlignment asserts the align-mode structural invariants on
+// one run delta: matched pairs form a common subsequence of both cycle
+// sequences and the edit lists are exactly the unmatched complement.
+func checkCycleAlignment(t *testing.T, r *diff.CycleRunDelta) {
+	t.Helper()
+	if r.Approx {
+		return // degraded to match pairing; positional invariants waived
+	}
+	prevA, prevB := -1, -1
+	for i := range r.Pairs {
+		p := &r.Pairs[i]
+		if p.IndexA <= prevA || p.IndexB <= prevB {
+			t.Errorf("run %d pair %d: indexes (%d,%d) not strictly increasing after (%d,%d)",
+				r.Run, i, p.IndexA, p.IndexB, prevA, prevB)
+		}
+		prevA, prevB = p.IndexA, p.IndexB
+	}
+	matchedA := map[int]bool{}
+	matchedB := map[int]bool{}
+	for i := range r.Pairs {
+		matchedA[r.Pairs[i].IndexA] = true
+		matchedB[r.Pairs[i].IndexB] = true
+	}
+	for _, e := range r.Deleted {
+		if matchedA[e.Index] {
+			t.Errorf("run %d: cycle A/%d both matched and deleted", r.Run, e.Index)
+		}
+		matchedA[e.Index] = true
+	}
+	for _, e := range r.Inserted {
+		if matchedB[e.Index] {
+			t.Errorf("run %d: cycle B/%d both matched and inserted", r.Run, e.Index)
+		}
+		matchedB[e.Index] = true
+	}
+	if len(matchedA) != r.CyclesA || len(matchedB) != r.CyclesB {
+		t.Errorf("run %d: pairs+edits cover %d/%d of A, %d/%d of B",
+			r.Run, len(matchedA), r.CyclesA, len(matchedB), r.CyclesB)
+	}
+}
+
+// swappedCycles builds the cycle layer Diff(b, a) must produce from
+// Diff(a, b)'s: every pair's sides exchanged, insertions and deletions
+// exchanged.
+func swappedCycles(c *diff.CycleDiffReport) *diff.CycleDiffReport {
+	s := *c
+	s.Inserted, s.Deleted = c.Deleted, c.Inserted
+	s.Runs = append([]diff.CycleRunDelta(nil), c.Runs...)
+	for i := range s.Runs {
+		r := &s.Runs[i]
+		r.DetectedA, r.DetectedB = r.DetectedB, r.DetectedA
+		r.CyclesA, r.CyclesB = r.CyclesB, r.CyclesA
+		r.ShiftTicks = -r.ShiftTicks // the jump's sign follows side B
+		r.Pairs = append([]diff.CyclePairDelta(nil), r.Pairs...)
+		for j := range r.Pairs {
+			p := &r.Pairs[j]
+			p.IndexA, p.IndexB = p.IndexB, p.IndexA
+			p.A, p.B = p.B, p.A
+		}
+		r.Deleted = append([]diff.CycleEdit(nil), c.Runs[i].Inserted...)
+		r.Inserted = append([]diff.CycleEdit(nil), c.Runs[i].Deleted...)
+	}
+	return &s
+}
+
+// sortPairs canonicalizes match-mode pair order (which follows the
+// first argument's cycle order and so differs under argument swap).
+func sortPairs(c *diff.CycleDiffReport) {
+	for i := range c.Runs {
+		ps := c.Runs[i].Pairs
+		sort.Slice(ps, func(a, b int) bool {
+			if ps[a].IndexA != ps[b].IndexA {
+				return ps[a].IndexA < ps[b].IndexA
+			}
+			return ps[a].IndexB < ps[b].IndexB
+		})
+	}
+}
+
+// TestCycleDiffProperties: for the iterative workloads, in both modes —
+// self-diff identically zero with no edits, antisymmetry under swap,
+// serial equivalence, and align validity.
+func TestCycleDiffProperties(t *testing.T) {
+	for _, name := range []string{"pipeline", "taskfarm", "stencil", "stream"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			full := traceWithGroups(t, name, event.GroupAll)
+			reduced := traceWithGroups(t, name, event.GroupLifecycle|event.GroupMFC)
+
+			for _, mode := range []string{diff.ModeMatch, diff.ModeAlign} {
+				opt := diff.Options{Mode: mode}
+
+				self, err := diff.Diff(full, full, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if self.Cycles == nil {
+					t.Fatalf("mode %s: no cycle layer", mode)
+				}
+				if !self.Zero() || !self.Cycles.Zero() {
+					t.Errorf("mode %s: self-diff not identically zero", mode)
+				}
+				if self.Cycles.Inserted != 0 || self.Cycles.Deleted != 0 {
+					t.Errorf("mode %s: self-diff has %d insertions, %d deletions",
+						mode, self.Cycles.Inserted, self.Cycles.Deleted)
+				}
+				for i := range self.Cycles.Runs {
+					r := &self.Cycles.Runs[i]
+					for j := range r.Pairs {
+						p := &r.Pairs[j]
+						if p.IndexA != p.IndexB || p.A != p.B || p.Flagged {
+							t.Errorf("mode %s: self-diff pair (%d,%d) not identical", mode, p.IndexA, p.IndexB)
+						}
+					}
+				}
+
+				// A cross-group diff exercises real insertions/deletions:
+				// the reduced side's cycle signatures lack the sync events.
+				rep, err := diff.Diff(reduced, full, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ser, err := diff.DiffSerial(reduced, full, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(rep, ser) {
+					t.Errorf("mode %s: Diff differs from DiffSerial", mode)
+				}
+
+				rev, err := diff.Diff(full, reduced, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := swappedCycles(rep.Cycles)
+				got := rev.Cycles
+				if mode == diff.ModeMatch {
+					sortPairs(want)
+					gotCopy := *rev.Cycles
+					gotCopy.Runs = append([]diff.CycleRunDelta(nil), rev.Cycles.Runs...)
+					for i := range gotCopy.Runs {
+						gotCopy.Runs[i].Pairs = append([]diff.CyclePairDelta(nil), rev.Cycles.Runs[i].Pairs...)
+					}
+					got = &gotCopy
+					sortPairs(got)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("mode %s: cycle layer is not antisymmetric under swap", mode)
+				}
+
+				if mode == diff.ModeAlign {
+					for i := range rep.Cycles.Runs {
+						checkCycleAlignment(t, &rep.Cycles.Runs[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCycleDiffBadMode(t *testing.T) {
+	tr := traceWithGroups(t, "synthetic", event.GroupAll)
+	if _, err := diff.Diff(tr, tr, diff.Options{Mode: "bogus"}); !errors.Is(err, diff.ErrBadMode) {
+		t.Fatalf("expected ErrBadMode, got %v", err)
+	}
+}
+
+// TestCycleDiffModeOffUnchanged pins the compatibility contract: with
+// no mode selected the report carries no cycle layer, so pre-cycle
+// renderings (and the checked-in goldens) are unchanged.
+func TestCycleDiffModeOffUnchanged(t *testing.T) {
+	tr := traceWithGroups(t, "pipeline", event.GroupAll)
+	rep, err := diff.Diff(tr, tr, diff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != nil {
+		t.Fatal("mode-less diff grew a cycle layer")
+	}
+	var buf bytes.Buffer
+	rep.Write(&buf)
+	if bytes.Contains(buf.Bytes(), []byte("per-cycle")) {
+		t.Error("mode-less text render mentions the per-cycle section")
+	}
+	buf.Reset()
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("\"cycles\"")) {
+		t.Error("mode-less JSON render carries a cycles key")
+	}
+}
+
+// FuzzDiffAlign drives the mutate/salvage loop through align mode: no
+// panics, self-diff of the salvaged side stays zero, parallel and
+// serial agree, and every run's alignment is a valid common
+// subsequence.
+func FuzzDiffAlign(f *testing.F) {
+	f.Add(uint32(0), uint8(0), uint8(0x5A), uint16(0))
+	f.Add(uint32(30), uint8(1), uint8(0xC5), uint16(0))
+	f.Add(uint32(60), uint8(2), uint8(0), uint16(0))
+	f.Add(uint32(100), uint8(0), uint8(0xFF), uint16(50))
+	f.Add(uint32(0), uint8(3), uint8(0), uint16(9))
+
+	f.Fuzz(func(t *testing.T, pos uint32, op, val uint8, cut uint16) {
+		valid := buildFuzzTrace(t)
+		base, err := analyzer.Load(bytes.NewReader(valid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := append([]byte(nil), valid...)
+		p := int(pos) % len(data)
+		switch op % 4 {
+		case 0:
+			data[p] ^= val | 1
+		case 1:
+			data = append(data[:p], append([]byte{val}, data[p:]...)...)
+		case 2:
+			data = append(data[:p], data[p+1:]...)
+		case 3:
+			n := int(cut) % (len(data) + 1)
+			data = data[:len(data)-n]
+		}
+		if int(cut) > 0 && op%4 != 3 {
+			n := int(cut) % (len(data) + 1)
+			data = data[:len(data)-n]
+		}
+
+		d := analyzer.DoctorData(data)
+		if d == nil || d.Trace == nil {
+			return
+		}
+		mut := d.Trace
+		opt := diff.Options{Mode: diff.ModeAlign}
+
+		self, err := diff.Diff(mut, mut, opt)
+		if err != nil {
+			t.Fatalf("self-diff of a salvaged trace errored: %v", err)
+		}
+		if !self.Zero() {
+			t.Errorf("align self-diff of a salvaged trace is not zero")
+		}
+
+		rep, err := diff.Diff(base, mut, opt)
+		if err != nil {
+			return // e.g. the mutation destroyed the workload name
+		}
+		ser, err := diff.DiffSerial(base, mut, opt)
+		if err != nil {
+			t.Fatalf("Diff succeeded but DiffSerial errored: %v", err)
+		}
+		if !reflect.DeepEqual(rep, ser) {
+			t.Errorf("parallel and serial align diffs disagree on salvaged input")
+		}
+		if rep.Cycles == nil {
+			t.Fatal("align diff has no cycle layer")
+		}
+		for i := range rep.Cycles.Runs {
+			checkCycleAlignment(t, &rep.Cycles.Runs[i])
+		}
+		var buf bytes.Buffer
+		rep.Write(&buf)
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Errorf("WriteJSON: %v", err)
+		}
+	})
+}

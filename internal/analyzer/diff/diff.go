@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"github.com/celltrace/pdt/internal/analyzer"
+	"github.com/celltrace/pdt/internal/analyzer/cycles"
 	"github.com/celltrace/pdt/internal/core/event"
 )
 
@@ -42,6 +43,14 @@ type Options struct {
 	// for the two sides (pdt-tad passes its cache-memoized results so a
 	// diff of cached traces recomputes nothing).
 	CritPathA, CritPathB *analyzer.CriticalPath
+	// Mode selects per-cycle diffing: ModeMatch pairs cycles by
+	// signature class, ModeAlign LCS-aligns them positionally and
+	// classifies insertions/deletions. Empty keeps per-cycle diffing off
+	// (Report.Cycles stays nil and the output is unchanged).
+	Mode string
+	// CyclesA/CyclesB, when non-nil, are precomputed cycle reports for
+	// the two sides (pdt-tad passes its memoized artifacts).
+	CyclesA, CyclesB *cycles.Report
 }
 
 // withDefaults fills unset gate knobs.
@@ -191,6 +200,9 @@ type Report struct {
 	// path on both sides.
 	Overhead Attribution
 	CritPath CritPathDelta
+	// Cycles is the per-cycle layer; nil unless Options.Mode selected a
+	// cycle-diff mode.
+	Cycles *CycleDiffReport
 	// Gate records the effective effect-size thresholds.
 	Gate Options
 }
@@ -222,6 +234,9 @@ func (r *Report) Zero() bool {
 		if cc.A != cc.B {
 			return false
 		}
+	}
+	if r.Cycles != nil && !r.Cycles.Zero() {
+		return false
 	}
 	o := r.Overhead
 	return o.WallDeltaTicks == 0 && o.FlushDeltaTicks == 0 && o.FlushAttributed == 0 &&
@@ -260,6 +275,9 @@ func diffTraces(a, b *analyzer.Trace, opt Options, par bool) (*Report, error) {
 	if a.Meta.Workload != b.Meta.Workload {
 		return nil, fmt.Errorf("%w: %q vs %q", ErrWorkloadMismatch, a.Meta.Workload, b.Meta.Workload)
 	}
+	if opt.Mode != "" && opt.Mode != ModeMatch && opt.Mode != ModeAlign {
+		return nil, fmt.Errorf("%w: %q", ErrBadMode, opt.Mode)
+	}
 	opt = opt.withDefaults()
 	sides := make([]*side, 2)
 	if par {
@@ -270,7 +288,22 @@ func diffTraces(a, b *analyzer.Trace, opt Options, par bool) (*Report, error) {
 		sides[0] = computeSide(a, opt.CritPathA, false)
 		sides[1] = computeSide(b, opt.CritPathB, false)
 	}
-	return assemble(sides[0], sides[1], opt), nil
+	rep := assemble(sides[0], sides[1], opt)
+	if opt.Mode != "" {
+		ca, cb := opt.CyclesA, opt.CyclesB
+		detect := cycles.DetectSerial
+		if par {
+			detect = cycles.Detect
+		}
+		if ca == nil {
+			ca = detect(a, cycles.Options{})
+		}
+		if cb == nil {
+			cb = detect(b, cycles.Options{})
+		}
+		rep.Cycles = cycleDiff(ca, cb, opt)
+	}
+	return rep, nil
 }
 
 // computeSide extracts one trace's metrics. In parallel mode the
@@ -402,6 +435,7 @@ func overallConfidence(tr *analyzer.Trace) float64 {
 func assemble(a, b *side, opt Options) *Report {
 	gate := opt
 	gate.CritPathA, gate.CritPathB = nil, nil // gate thresholds only
+	gate.CyclesA, gate.CyclesB = nil, nil
 	r := &Report{
 		Workload: a.workload,
 		RecordsA: a.records, RecordsB: b.records,

@@ -83,6 +83,10 @@ func (r *Report) Write(w io.Writer) {
 		fmt.Fprintf(w, "%-7s %12d %12d %9s\n",
 			event.CoreName(cc.Core), cc.A, cc.B, signed(int64(cc.B)-int64(cc.A)))
 	}
+
+	if r.Cycles != nil {
+		r.Cycles.write(w, r.Gate)
+	}
 }
 
 // jsonCoreSide mirrors CoreSide with histogram summarised.
@@ -131,6 +135,56 @@ type jsonCritCore struct {
 	Delta int64  `json:"delta"`
 }
 
+type jsonCycleMetrics struct {
+	Start   uint64 `json:"start"`
+	Events  int    `json:"events"`
+	Wall    uint64 `json:"wall"`
+	Busy    uint64 `json:"busy"`
+	Stall   uint64 `json:"stall"`
+	DMAWait uint64 `json:"dmaWait"`
+}
+
+type jsonCyclePair struct {
+	IndexA    int              `json:"indexA"`
+	IndexB    int              `json:"indexB"`
+	Sig       uint64           `json:"sig"`
+	A         jsonCycleMetrics `json:"a"`
+	B         jsonCycleMetrics `json:"b"`
+	WallDelta int64            `json:"wallDelta"`
+	Flagged   bool             `json:"flagged"`
+}
+
+type jsonCycleEdit struct {
+	Index int              `json:"index"`
+	Sig   uint64           `json:"sig"`
+	M     jsonCycleMetrics `json:"metrics"`
+}
+
+type jsonCycleRun struct {
+	Core      string          `json:"core"`
+	Run       int             `json:"run"`
+	DetectedA bool            `json:"detectedA"`
+	DetectedB bool            `json:"detectedB"`
+	CyclesA   int             `json:"cyclesA"`
+	CyclesB   int             `json:"cyclesB"`
+	Approx    bool            `json:"approx,omitempty"`
+	Pairs     []jsonCyclePair `json:"pairs"`
+	Deleted   []jsonCycleEdit `json:"deleted,omitempty"`
+	Inserted  []jsonCycleEdit `json:"inserted,omitempty"`
+	// shiftAt/shiftTicks appear only when a gated timeline shift was
+	// localized (align mode).
+	ShiftAt    *int  `json:"shiftAt,omitempty"`
+	ShiftTicks int64 `json:"shiftTicks,omitempty"`
+}
+
+type jsonCycleDiff struct {
+	Mode     string         `json:"mode"`
+	Matched  int            `json:"matched"`
+	Inserted int            `json:"inserted"`
+	Deleted  int            `json:"deleted"`
+	Runs     []jsonCycleRun `json:"runs"`
+}
+
 type jsonDiff struct {
 	Workload    string           `json:"workload"`
 	RecordsA    int              `json:"recordsA"`
@@ -150,6 +204,7 @@ type jsonDiff struct {
 	CritPathB   uint64           `json:"critPathTicksB"`
 	CritDelta   int64            `json:"critPathDelta"`
 	CritCores   []jsonCritCore   `json:"critPathCores"`
+	Cycles      *jsonCycleDiff   `json:"cycles,omitempty"`
 }
 
 // WriteJSON renders the diff report as indented JSON (the `-json` CLI
@@ -201,6 +256,47 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		out.CritCores = append(out.CritCores, jsonCritCore{
 			Core: event.CoreName(cc.Core), A: cc.A, B: cc.B, Delta: int64(cc.B) - int64(cc.A),
 		})
+	}
+	if r.Cycles != nil {
+		toM := func(m CycleMetrics) jsonCycleMetrics {
+			return jsonCycleMetrics{Start: m.Start, Events: m.Events, Wall: m.Wall,
+				Busy: m.Busy, Stall: m.Stall, DMAWait: m.DMAWait}
+		}
+		jc := &jsonCycleDiff{
+			Mode: r.Cycles.Mode, Matched: r.Cycles.Matched,
+			Inserted: r.Cycles.Inserted, Deleted: r.Cycles.Deleted,
+			Runs: []jsonCycleRun{},
+		}
+		for i := range r.Cycles.Runs {
+			rr := &r.Cycles.Runs[i]
+			jr := jsonCycleRun{
+				Core: event.CoreName(rr.Core), Run: rr.Run,
+				DetectedA: rr.DetectedA, DetectedB: rr.DetectedB,
+				CyclesA: rr.CyclesA, CyclesB: rr.CyclesB, Approx: rr.Approx,
+				Pairs: []jsonCyclePair{},
+			}
+			if rr.ShiftAt >= 0 {
+				at := rr.ShiftAt
+				jr.ShiftAt, jr.ShiftTicks = &at, rr.ShiftTicks
+			}
+			for j := range rr.Pairs {
+				p := &rr.Pairs[j]
+				jr.Pairs = append(jr.Pairs, jsonCyclePair{
+					IndexA: p.IndexA, IndexB: p.IndexB, Sig: p.Sig,
+					A: toM(p.A), B: toM(p.B), WallDelta: p.WallDelta(), Flagged: p.Flagged,
+				})
+			}
+			for j := range rr.Deleted {
+				e := &rr.Deleted[j]
+				jr.Deleted = append(jr.Deleted, jsonCycleEdit{Index: e.Index, Sig: e.Sig, M: toM(e.M)})
+			}
+			for j := range rr.Inserted {
+				e := &rr.Inserted[j]
+				jr.Inserted = append(jr.Inserted, jsonCycleEdit{Index: e.Index, Sig: e.Sig, M: toM(e.M)})
+			}
+			jc.Runs = append(jc.Runs, jr)
+		}
+		out.Cycles = jc
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

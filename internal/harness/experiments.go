@@ -40,6 +40,7 @@ func Experiments() []Experiment {
 		{"E12", "Table 7 (ablation): barrier latency, atomic vs signal fabric", runE12},
 		{"E13", "Figure 9: workload speedup vs SPE count", runE13},
 		{"E14", "Table 8: PDT overhead attribution via trace differencing", runE14},
+		{"E15", "Table 9: per-cycle variance across the iterative workloads", runE15},
 	}
 }
 

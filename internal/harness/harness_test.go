@@ -91,7 +91,7 @@ func TestOverhead(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
+	if len(exps) != 15 {
 		t.Fatalf("experiments = %d", len(exps))
 	}
 	seen := map[string]bool{}
@@ -128,6 +128,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 		"E11": {"GB/s", "baseline"},
 		"E12": {"parties", "signal speedup"},
 		"E13": {"speedup", "julia"},
+		"E15": {"wall CV%", "pipeline", "stream", "steady%"},
 	}
 	for _, e := range Experiments() {
 		e := e

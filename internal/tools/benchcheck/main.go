@@ -1,6 +1,7 @@
 // benchcheck is the benchmark regression gate: it runs the committed
 // reference benchmarks (trace load, interval profile, critical path,
-// gap hunting, trace differencing, end-to-end TAD summary) with
+// gap hunting, trace differencing, cycle detection, align-mode cycle
+// diffing, end-to-end TAD summary) with
 // -benchmem, parses the ns/op, B/op and allocs/op figures, and compares
 // all three against BENCH_baseline.json. A result more than -tolerance
 // worse than its baseline entry on any metric fails the run; a package
@@ -35,7 +36,7 @@ type suite struct {
 // lives in the repo-root package; BenchmarkTADSummary is the service's
 // end-to-end request path.
 var suites = []suite{
-	{".", "^(BenchmarkLoadLargeTrace|BenchmarkLoadStream|BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace|BenchmarkGapsLargeTrace|BenchmarkDiffLargeTrace)$"},
+	{".", "^(BenchmarkLoadLargeTrace|BenchmarkLoadStream|BenchmarkProfileLargeTrace|BenchmarkCritPathLargeTrace|BenchmarkGapsLargeTrace|BenchmarkDiffLargeTrace|BenchmarkCyclesLargeTrace|BenchmarkDiffAlignLargeTrace)$"},
 	{"./cmd/pdt-tad", "^BenchmarkTADSummary$"},
 }
 
